@@ -1,0 +1,302 @@
+// Package repro_test is the benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation. Each benchmark executes its
+// experiment driver end to end at a scaled-down configuration (so the whole
+// suite runs in minutes) and reports domain-specific metrics alongside
+// ns/op. The full-scale numbers live in EXPERIMENTS.md and are regenerated
+// with cmd/mehpt-experiments at -scale 1.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/experiments"
+	"repro/internal/levelhash"
+	"repro/internal/mehpt"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// benchOptions is the scaled configuration the benchmarks run at.
+func benchOptions() experiments.Options {
+	o := experiments.TestOptions()
+	o.Scale = 64
+	o.TimedAccesses = 500_000
+	return o
+}
+
+func BenchmarkTable1(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(o)
+		if len(rows) != 11 {
+			b.Fatal("short table")
+		}
+		var ratio float64
+		for _, r := range rows {
+			ratio += float64(r.ECPTTotal) / float64(r.TreeTotal)
+		}
+		b.ReportMetric(ratio/11, "ecpt-vs-tree-mem")
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2()
+		if rows[1].MaxWayBytes != 64*addr.MB {
+			b.Fatal("table II broken")
+		}
+	}
+}
+
+func BenchmarkAllocCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AllocCost(0.7)
+		if rows[len(rows)-1].Cycles == 0 {
+			b.Fatal("no cost")
+		}
+	}
+	b.ReportMetric(float64(experiments.AllocCost(0.7)[4].Cycles), "cycles/64MB-alloc")
+}
+
+func BenchmarkFragmentationStress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunFragmentationStress(1*addr.GB, int64(i))
+		for _, r := range rows {
+			if r.SizeBytes == 64*addr.MB && r.OK {
+				b.Fatal("64MB allocation survived shredding")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure8(o)
+		var worstECPT, worstME uint64
+		for _, r := range rows {
+			if r.ECPT > worstECPT {
+				worstECPT = r.ECPT
+			}
+			if r.MEHPT > worstME {
+				worstME = r.MEHPT
+			}
+		}
+		b.ReportMetric(float64(worstECPT)/float64(1<<10), "ecpt-contig-KB")
+		b.ReportMetric(float64(worstME)/float64(1<<10), "mehpt-contig-KB")
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure9(o)
+		var me []float64
+		for _, r := range rows {
+			if r.MEHPT > 0 {
+				me = append(me, r.MEHPT)
+			}
+		}
+		b.ReportMetric(stats.GeoMean(me), "mehpt-speedup-geomean")
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure10(o)
+		var saved []float64
+		for _, r := range rows {
+			saved = append(saved, r.ReductionPct)
+		}
+		b.ReportMetric(stats.Mean(saved), "pt-mem-saved-pct")
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure11(o)
+		var ups float64
+		for _, r := range rows {
+			for _, u := range r.Ways {
+				ups += float64(u)
+			}
+		}
+		b.ReportMetric(ups/float64(len(rows)*3), "upsizes/way")
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure12(o)
+		var maxWay uint64
+		for _, r := range rows {
+			for _, w := range r.WayBytes {
+				if w > maxWay {
+					maxWay = w
+				}
+			}
+		}
+		b.ReportMetric(float64(maxWay)/(1<<20), "max-way-MB")
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure13(o)
+		var fr []float64
+		for _, r := range rows {
+			if r.Fraction >= 0 {
+				fr = append(fr, r.Fraction)
+			}
+		}
+		b.ReportMetric(stats.Mean(fr), "moved-fraction")
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure14(o)
+		var used float64
+		for _, r := range rows {
+			used += float64(r.Used)
+		}
+		b.ReportMetric(used/float64(len(rows)), "l2p-entries")
+	}
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	o := benchOptions()
+	o.Scale = 1 // tiny graphs already
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure15(o)
+		b.ReportMetric(float64(rows[0].Way1MBOnly)/float64(rows[0].Way8KBPlus1M),
+			"1MB-vs-ladder-waste-1Knodes")
+	}
+}
+
+func BenchmarkFigure16(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		_, mean := experiments.Figure16(o)
+		b.ReportMetric(mean, "reinsertions/insert")
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func ablationRun(b *testing.B, mutate func(*simCfg)) sim.Result {
+	b.Helper()
+	spec, err := workload.ByName("BFS", 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := simCfg{
+		Org: sim.MEHPT, Workload: spec, Populate: true,
+		Seed: 2, MemBytes: 2 * addr.GB,
+	}
+	mutate(&cfg)
+	return sim.Run(sim.Config(cfg))
+}
+
+type simCfg = sim.Config
+
+func BenchmarkAblationInPlaceMoves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		inPlace := ablationRun(b, func(c *simCfg) {})
+		outPlace := ablationRun(b, func(c *simCfg) {
+			m := mehpt.DefaultConfig(2)
+			m.InPlace = false
+			c.MEHPTConfig = &m
+		})
+		// In-place resizing should move roughly half as many entries.
+		b.ReportMetric(float64(inPlace.PTMoves), "inplace-moves")
+		b.ReportMetric(float64(outPlace.PTMoves), "outofplace-moves")
+	}
+}
+
+func BenchmarkAblationWeightedInsert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		weighted := ablationRun(b, func(c *simCfg) {})
+		uniform := ablationRun(b, func(c *simCfg) {
+			m := mehpt.DefaultConfig(2)
+			m.WeightedInsert = false
+			c.MEHPTConfig = &m
+		})
+		b.ReportMetric(float64(weighted.MEHPT.Table(addr.Page4K).Stats().Kicks), "weighted-kicks")
+		b.ReportMetric(float64(uniform.MEHPT.Table(addr.Page4K).Stats().Kicks), "uniform-kicks")
+	}
+}
+
+func BenchmarkAblationChunkLadder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		def := ablationRun(b, func(c *simCfg) {})
+		oneMB := ablationRun(b, func(c *simCfg) {
+			m := mehpt.DefaultConfig(2)
+			m.Ladder = []uint64{1 * addr.MB, 8 * addr.MB, 64 * addr.MB}
+			c.MEHPTConfig = &m
+		})
+		b.ReportMetric(float64(def.PTPeakBytes)/(1<<10), "ladder-peak-KB")
+		b.ReportMetric(float64(oneMB.PTPeakBytes)/(1<<10), "1MBonly-peak-KB")
+	}
+}
+
+func BenchmarkAblationOccupancyThresholds(b *testing.B) {
+	for _, up := range []float64{0.4, 0.6, 0.8} {
+		up := up
+		b.Run(thrName(up), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := ablationRun(b, func(c *simCfg) {
+					m := mehpt.DefaultConfig(2)
+					m.UpsizeAt = up
+					c.MEHPTConfig = &m
+				})
+				st := r.MEHPT.Table(addr.Page4K).Stats()
+				b.ReportMetric(float64(st.Kicks)/float64(st.Inserts), "kicks/insert")
+				b.ReportMetric(float64(r.PTPeakBytes)/(1<<10), "peak-KB")
+			}
+		})
+	}
+}
+
+func thrName(f float64) string {
+	switch f {
+	case 0.4:
+		return "upsize-0.4"
+	case 0.6:
+		return "upsize-0.6"
+	default:
+		return "upsize-0.8"
+	}
+}
+
+// BenchmarkSectionIX quantifies the paper's Section IX comparison against
+// Level Hashing: probes per lookup and entries moved per resize.
+func BenchmarkSectionIX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lh := levelhash.New(64, 9)
+		for k := uint64(0); k < 40000; k++ {
+			if err := lh.Insert(k, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for k := uint64(0); k < 10000; k++ {
+			lh.Lookup(k + 1_000_000) // misses probe all candidates
+		}
+		b.ReportMetric(lh.ProbesPerLookup(), "levelhash-probes/lookup")
+		lhSt := lh.Stats()
+		b.ReportMetric(float64(lhSt.Moves)/float64(lhSt.Resizes)/40000, "levelhash-movefrac/resize")
+
+		// ME-HPT in-place: ~0.5 of entries move per upsize, no extra probes.
+		r := ablationRun(b, func(c *simCfg) {})
+		st := r.MEHPT.Table(addr.Page4K).Stats()
+		b.ReportMetric(float64(st.UpsizeMoved)/float64(st.UpsizeMoved+st.UpsizeStayed),
+			"mehpt-movefrac/upsize")
+	}
+}

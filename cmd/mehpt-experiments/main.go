@@ -1,0 +1,87 @@
+// Command mehpt-experiments regenerates every table and figure in the
+// paper's evaluation. Run with -exp all (default) or a comma-separated
+// subset: table1,table2,alloccost,frag,fig8,fig9,fig10,fig11,fig12,fig13,
+// fig14,fig15,fig16.
+//
+// -scale 1 is the paper's full configuration (takes minutes); larger scales
+// divide every footprint for quick looks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/addr"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiments to run, or 'all' (table1,table2,alloccost,frag,fivelevel,virt,fig8..fig16)")
+		scale    = flag.Uint64("scale", 1, "footprint divisor (1 = paper's full scale)")
+		accesses = flag.Uint64("accesses", 30_000_000, "timed trace length for fig9")
+		memGB    = flag.Uint64("mem", 64, "simulated physical memory (GB)")
+		fmfi     = flag.Float64("fmfi", 0.7, "ambient memory fragmentation (FMFI)")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	o.Scale = *scale
+	o.TimedAccesses = *accesses
+	o.MemBytes = *memGB * addr.GB
+	o.FMFI = *fmfi
+	o.Seed = *seed
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	run := func(name string, f func()) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		f()
+		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	w := os.Stdout
+	fmt.Printf("ME-HPT experiment suite (scale=%d, fmfi=%.1f, mem=%dGB)\n\n",
+		o.Scale, o.FMFI, o.MemBytes/addr.GB)
+
+	run("table2", func() { experiments.FprintTable2(w, experiments.Table2()) })
+	run("fivelevel", func() {
+		mo := o
+		if mo.Scale == 1 {
+			mo.Scale = 8 // walk-latency averages converge fast; keep it quick
+		}
+		mo.TimedAccesses = 2_000_000
+		experiments.FprintFiveLevel(w, experiments.FiveLevelMotivation(mo))
+	})
+	run("virt", func() {
+		experiments.FprintVirtualization(w, experiments.Virtualization(o, 256))
+	})
+	run("alloccost", func() { experiments.FprintAllocCost(w, o.FMFI, experiments.AllocCost(o.FMFI)) })
+	run("frag", func() {
+		experiments.FprintFragmentationStress(w,
+			experiments.RunFragmentationStress(o.MemBytes/8, o.Seed))
+	})
+	run("table1", func() { experiments.FprintTable1(w, experiments.Table1(o)) })
+	run("fig8", func() { experiments.FprintFigure8(w, experiments.Figure8(o)) })
+	run("fig10", func() { experiments.FprintFigure10(w, experiments.Figure10(o)) })
+	run("fig11", func() { experiments.FprintFigure11(w, experiments.Figure11(o)) })
+	run("fig12", func() { experiments.FprintFigure12(w, experiments.Figure12(o)) })
+	run("fig13", func() { experiments.FprintFigure13(w, experiments.Figure13(o)) })
+	run("fig14", func() { experiments.FprintFigure14(w, experiments.Figure14(o)) })
+	run("fig15", func() { experiments.FprintFigure15(w, experiments.Figure15(o)) })
+	run("fig16", func() {
+		rows, mean := experiments.Figure16(o)
+		experiments.FprintFigure16(w, rows, mean)
+	})
+	run("fig9", func() { experiments.FprintFigure9(w, experiments.Figure9(o)) })
+}

@@ -1,0 +1,156 @@
+// Command mehpt-trace records workload or graph-kernel address traces to
+// compact binary files and replays them through the simulator — the
+// standard record-once/replay-many methodology of trace-driven evaluation.
+//
+//	mehpt-trace record -app BFS -scale 64 -accesses 1000000 -o bfs.trc
+//	mehpt-trace record -kernel PR -nodes 100000 -o pr.trc
+//	mehpt-trace replay -pt mehpt -i bfs.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/addr"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mehpt-trace record|replay [flags]")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		app      = fs.String("app", "", "statistical workload to record (BC BFS ... TC)")
+		kernel   = fs.String("kernel", "", "graph kernel to record instead (BC BFS CC DC DFS PR SSSP TC)")
+		nodes    = fs.Uint64("nodes", 100_000, "graph nodes for -kernel")
+		degree   = fs.Int("degree", 16, "graph degree for -kernel")
+		scale    = fs.Uint64("scale", 64, "workload scale for -app")
+		accesses = fs.Uint64("accesses", 1_000_000, "trace length for -app")
+		seed     = fs.Int64("seed", 1, "seed")
+		out      = fs.String("o", "out.trc", "output file")
+	)
+	fs.Parse(args)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	var n uint64
+	switch {
+	case *kernel != "":
+		g := graph.GenerateUniform(*nodes, *degree, *seed, workload.BaseVA)
+		n, err = trace.Record(f, func(emit func(addr.VirtAddr)) {
+			if _, kerr := g.Run(*kernel, emit); kerr != nil {
+				err = kerr
+			}
+		})
+	case *app != "":
+		spec, serr := workload.ByName(*app, *scale)
+		if serr != nil {
+			fatal(serr)
+		}
+		tr := spec.NewTrace(*seed, *accesses)
+		n, err = trace.Record(f, func(emit func(addr.VirtAddr)) {
+			for {
+				va, ok := tr.Next()
+				if !ok {
+					return
+				}
+				emit(va)
+			}
+		})
+	default:
+		fatal(fmt.Errorf("need -app or -kernel"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	info, _ := f.Stat()
+	fmt.Printf("recorded %d accesses to %s (%s, %.2f bytes/access)\n",
+		n, *out, stats.HumanBytes(uint64(info.Size())),
+		float64(info.Size())/float64(n))
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var (
+		in     = fs.String("i", "out.trc", "trace file")
+		orgStr = fs.String("pt", "mehpt", "page-table organization: radix, ecpt, mehpt")
+		memGB  = fs.Uint64("mem", 8, "physical memory (GB)")
+		seed   = fs.Int64("seed", 1, "seed")
+	)
+	fs.Parse(args)
+
+	var org sim.Org
+	switch *orgStr {
+	case "radix":
+		org = sim.Radix
+	case "ecpt":
+		org = sim.ECPT
+	case "mehpt":
+		org = sim.MEHPT
+	default:
+		fatal(fmt.Errorf("unknown -pt %q", *orgStr))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	m, err := sim.NewMachine(sim.Config{
+		Org: org, Workload: workload.Spec{Name: "replay"},
+		Seed: *seed, MemBytes: *memGB * addr.GB,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	m.SetAmbientFMFI(0.7)
+	var replayErr error
+	res := m.RunAddresses(func(emit func(addr.VirtAddr)) {
+		_, replayErr = trace.Replay(f, func(va addr.VirtAddr) bool {
+			emit(va)
+			return true
+		})
+	})
+	if replayErr != nil {
+		fatal(replayErr)
+	}
+	if res.Failed {
+		fatal(fmt.Errorf("replay failed: %s", res.FailReason))
+	}
+	fmt.Printf("%v: %d accesses, %d cycles (xlat %d, data %d, os %d)\n",
+		org, res.Accesses, res.Cycles, res.XlatCycles, res.DataCycles, res.OSCycles)
+	fmt.Printf("TLB walks: %d (%.1f%%), faults: %d, PT peak %s, max contig %s\n",
+		res.MMU.Walks, 100*float64(res.MMU.Walks)/float64(res.MMU.Translations),
+		res.OS.Faults, stats.HumanBytes(res.PTPeakBytes), stats.HumanBytes(res.MaxContiguous))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mehpt-trace:", err)
+	os.Exit(1)
+}

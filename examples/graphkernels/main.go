@@ -1,0 +1,73 @@
+// Graph kernels end to end: generates a real CSR graph, runs genuine
+// GraphBIG-style kernels (BFS, PageRank, connected components, ...) and
+// feeds their exact address streams through the full simulator under each
+// page-table organization. Unlike examples/graphanalytics (which uses the
+// calibrated statistical traces), every address here comes from a real
+// algorithm executing on a real graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/addr"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		nodes  = flag.Uint64("nodes", 100_000, "graph nodes (paper inputs: 1M)")
+		degree = flag.Int("degree", 16, "average out-degree")
+		kernel = flag.String("kernel", "BFS", "kernel: BC BFS CC DC DFS PR SSSP TC")
+		seed   = flag.Int64("seed", 1, "graph seed")
+	)
+	flag.Parse()
+
+	g := graph.GenerateUniform(*nodes, *degree, *seed, workload.BaseVA)
+	fmt.Printf("%v, kernel %s\n\n", g, *kernel)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "org\taccesses\tcycles\tspeedup\tTLBmiss%\tPT peak\tmax contig")
+	var base float64
+	for _, org := range []sim.Org{sim.Radix, sim.ECPT, sim.MEHPT} {
+		m, err := sim.NewMachine(sim.Config{
+			Org:      org,
+			Workload: workload.Spec{Name: "graph"},
+			Seed:     *seed,
+			MemBytes: 16 * addr.GB,
+		})
+		if err != nil {
+			fmt.Fprintf(w, "%v\tmachine: %v\n", org, err)
+			continue
+		}
+		m.SetAmbientFMFI(0.7)
+		var check float64
+		res := m.RunAddresses(func(emit func(addr.VirtAddr)) {
+			c, err := g.Run(*kernel, emit)
+			if err != nil {
+				panic(err)
+			}
+			check = c
+		})
+		if res.Failed {
+			fmt.Fprintf(w, "%v\tFAILED: %s\n", org, res.FailReason)
+			continue
+		}
+		cycles := float64(res.XlatCycles + res.DataCycles + res.PTAllocCycles)
+		if base == 0 {
+			base = cycles
+		}
+		fmt.Fprintf(w, "%v\t%d\t%.0fM\t%.2fx\t%.1f%%\t%s\t%s\n",
+			org, res.Accesses, cycles/1e6, base/cycles,
+			100*float64(res.MMU.Walks)/float64(res.MMU.Translations),
+			stats.HumanBytes(res.PTPeakBytes), stats.HumanBytes(res.MaxContiguous))
+		_ = check
+	}
+	w.Flush()
+	fmt.Println("\nevery address above came from the real kernel executing on the CSR arrays")
+}

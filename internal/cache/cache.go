@@ -1,0 +1,174 @@
+// Package cache models the data-cache hierarchy of the evaluated machine
+// (Table III): private L1 and L2, a shared L3, and DRAM behind them. The
+// model is latency-only: an access returns the round-trip cycles of the
+// level that hits. Both workload data accesses and page-walk accesses go
+// through it, so radix walks benefit from page-table locality and hashed
+// walks pay for its absence — the first-order effect behind Figure 9.
+package cache
+
+import "repro/internal/addr"
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes uint64
+	Ways      int
+	LineBytes uint64
+	Latency   uint64 // round-trip cycles from the core on a hit
+}
+
+// Stats counts accesses for one level.
+type Stats struct {
+	Hits, Misses uint64
+}
+
+// Cache is one set-associative LRU cache level.
+type Cache struct {
+	cfg      Config
+	sets     uint64
+	lineBits uint
+	tags     [][]uint64 // per-set tag stacks, MRU first; tag 0 means empty
+	stats    Stats
+}
+
+// New creates a cache level. Sets are derived from size/ways/line; the set
+// count need not be a power of two (Table III's 12-way L2 TLB layout made
+// that a requirement elsewhere too).
+func New(cfg Config) *Cache {
+	lines := cfg.SizeBytes / cfg.LineBytes
+	sets := lines / uint64(cfg.Ways)
+	if sets == 0 {
+		sets = 1
+	}
+	c := &Cache{cfg: cfg, sets: sets}
+	c.lineBits = 0
+	for l := cfg.LineBytes; l > 1; l >>= 1 {
+		c.lineBits++
+	}
+	c.tags = make([][]uint64, sets)
+	return c
+}
+
+// line returns the line number of pa.
+func (c *Cache) line(pa addr.PhysAddr) uint64 { return uint64(pa) >> c.lineBits }
+
+// Lookup probes the cache without filling, updating LRU on a hit.
+func (c *Cache) Lookup(pa addr.PhysAddr) bool {
+	ln := c.line(pa)
+	set := c.tags[ln%c.sets]
+	for i, tag := range set {
+		if tag == ln+1 {
+			copy(set[1:i+1], set[:i])
+			set[0] = ln + 1
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Fill inserts pa's line, evicting the LRU victim if the set is full.
+func (c *Cache) Fill(pa addr.PhysAddr) {
+	ln := c.line(pa)
+	si := ln % c.sets
+	set := c.tags[si]
+	if len(set) < c.cfg.Ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = ln + 1
+	c.tags[si] = set
+}
+
+// Latency returns the hit round-trip latency.
+func (c *Cache) Latency() uint64 { return c.cfg.Latency }
+
+// Stats returns the hit/miss counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Hierarchy is the full L1/L2/L3/DRAM stack.
+type Hierarchy struct {
+	levels      []*Cache
+	dramLatency uint64
+	dramHits    uint64
+}
+
+// HierarchyConfig parameterizes NewHierarchy.
+type HierarchyConfig struct {
+	L1, L2, L3  Config
+	DRAMLatency uint64
+}
+
+// TableIII returns the paper's memory-system configuration: 32KB/8-way L1
+// (2 cyc), 512KB/8-way L2 (16 cyc), 2MB/16-way L3 per core (56 cyc avg),
+// 200-cycle DRAM, 64B lines.
+func TableIII() HierarchyConfig {
+	return HierarchyConfig{
+		L1:          Config{SizeBytes: 32 * addr.KB, Ways: 8, LineBytes: 64, Latency: 2},
+		L2:          Config{SizeBytes: 512 * addr.KB, Ways: 8, LineBytes: 64, Latency: 16},
+		L3:          Config{SizeBytes: 2 * addr.MB, Ways: 16, LineBytes: 64, Latency: 56},
+		DRAMLatency: 200,
+	}
+}
+
+// NewHierarchy builds the stack.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		levels:      []*Cache{New(cfg.L1), New(cfg.L2), New(cfg.L3)},
+		dramLatency: cfg.DRAMLatency,
+	}
+}
+
+// Access performs one memory access and returns its round-trip latency. On
+// a miss the line is filled into every level (inclusive hierarchy).
+func (h *Hierarchy) Access(pa addr.PhysAddr) uint64 {
+	for i, c := range h.levels {
+		if c.Lookup(pa) {
+			for j := 0; j < i; j++ {
+				h.levels[j].Fill(pa)
+			}
+			return c.Latency()
+		}
+	}
+	for _, c := range h.levels {
+		c.Fill(pa)
+	}
+	h.dramHits++
+	return h.dramLatency
+}
+
+// AccessPT performs a page-walker memory access. Page-table lines are
+// modeled as effectively uncached in the data hierarchy: hardware walkers do
+// not allocate into the core's L1/L2, and in the paper's 8-core full-system
+// environment the shared L3 is churned by seven other cores' traffic, so
+// page-table lines rarely survive between walks. The dedicated translation
+// caches (radix PWCs, cuckoo CWCs) are the structures that compensate —
+// exactly why a four-access sequential radix walk is materially slower than
+// a single hashed probe (Figure 9's mechanism, and Section I's point that
+// tree walks cannot exploit memory-level parallelism).
+func (h *Hierarchy) AccessPT(pa addr.PhysAddr) uint64 {
+	_ = pa
+	h.dramHits++
+	return h.dramLatency
+}
+
+// Peek returns the latency pa would see right now without touching state —
+// used to price the parallel probes of a cuckoo walk, where only the
+// winning probe should update LRU state meaningfully.
+func (h *Hierarchy) Peek(pa addr.PhysAddr) uint64 {
+	for _, c := range h.levels {
+		ln := c.line(pa)
+		for _, tag := range c.tags[ln%c.sets] {
+			if tag == ln+1 {
+				return c.Latency()
+			}
+		}
+	}
+	return h.dramLatency
+}
+
+// DRAMAccesses returns the number of accesses that reached memory.
+func (h *Hierarchy) DRAMAccesses() uint64 { return h.dramHits }
+
+// Level returns cache level i (0 = L1), for stats inspection.
+func (h *Hierarchy) Level(i int) *Cache { return h.levels[i] }

@@ -1,0 +1,86 @@
+package cuckoo
+
+import "sync"
+
+// ConcurrentTable wraps Table with a readers-writer lock, giving the
+// concurrency model Section VIII's key-value-store application needs:
+// lookups proceed in parallel; inserts, deletes, and the gradual resize
+// steps they drive are serialized. This mirrors how per-process page
+// tables are used (reads from many walkers, writes under the OS's page
+// table lock) and is sufficient for the memory-index and KV-store use
+// cases the paper sketches.
+//
+// Lookup takes the write path when a resize is in flight, because resizing
+// lookups consult rehash pointers that inserts move; steady-state lookups
+// (the overwhelming majority under the paper's thresholds) stay read-only.
+type ConcurrentTable struct {
+	mu sync.RWMutex
+	t  *Table
+}
+
+// NewConcurrent creates a thread-safe elastic cuckoo table.
+func NewConcurrent(cfg Config) *ConcurrentTable {
+	return &ConcurrentTable{t: New(cfg)}
+}
+
+// Lookup returns the value stored for key.
+func (c *ConcurrentTable) Lookup(key uint64) (uint64, bool) {
+	c.mu.RLock()
+	if c.t.Resizing() {
+		// Upgrade: resizing lookups race with rehash-pointer movement.
+		c.mu.RUnlock()
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.t.Lookup(key)
+	}
+	defer c.mu.RUnlock()
+	return c.t.lookupReadOnly(key)
+}
+
+// Insert stores key→val.
+func (c *ConcurrentTable) Insert(key, val uint64) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Insert(key, val)
+}
+
+// Delete removes key.
+func (c *ConcurrentTable) Delete(key uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.Delete(key)
+}
+
+// Len returns the element count.
+func (c *ConcurrentTable) Len() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.Len()
+}
+
+// Stats returns a snapshot of the operation counters.
+func (c *ConcurrentTable) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t.stats
+}
+
+// Range calls f for every element while holding the read lock.
+func (c *ConcurrentTable) Range(f func(key, val uint64) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.t.Range(f)
+}
+
+// lookupReadOnly is Lookup without stats mutation, safe under RLock when
+// no resize is in flight.
+func (t *Table) lookupReadOnly(key uint64) (uint64, bool) {
+	for i := 0; i < t.cfg.Ways; i++ {
+		w := t.cur[i]
+		idx := w.fn.Index(key, w.size())
+		if w.slots[idx].Key == key {
+			return w.slots[idx].Val, true
+		}
+	}
+	return 0, false
+}

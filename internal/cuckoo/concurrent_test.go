@@ -1,0 +1,121 @@
+package cuckoo
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func newConcurrent() *ConcurrentTable {
+	return NewConcurrent(Config{
+		Ways:           3,
+		InitialEntries: 256,
+		MaxKicks:       32,
+		HashSeed:       17,
+		Rand:           rand.New(rand.NewSource(1)),
+	})
+}
+
+func TestConcurrentBasics(t *testing.T) {
+	c := newConcurrent()
+	if _, err := c.Insert(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Lookup(1); !ok || v != 100 {
+		t.Fatalf("Lookup = %d,%v", v, ok)
+	}
+	if !c.Delete(1) {
+		t.Fatal("Delete failed")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+// TestConcurrentReadersAndWriters hammers the table from parallel
+// goroutines; run with -race to exercise the locking discipline.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	c := newConcurrent()
+	const (
+		writers = 4
+		readers = 4
+		perG    = 5000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < perG; i++ {
+				k := base*perG + i
+				if _, err := c.Insert(k, k*2); err != nil {
+					t.Errorf("Insert(%d): %v", k, err)
+					return
+				}
+				if i%3 == 0 {
+					c.Delete(k)
+				}
+			}
+		}(uint64(w))
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				k := uint64(rng.Intn(writers * perG))
+				if v, ok := c.Lookup(k); ok && v != k*2 {
+					t.Errorf("Lookup(%d) = %d, want %d", k, v, k*2)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+	// Verify every surviving key.
+	want := map[uint64]uint64{}
+	for w := uint64(0); w < writers; w++ {
+		for i := uint64(0); i < perG; i++ {
+			k := w*perG + i
+			if i%3 != 0 {
+				want[k] = k * 2
+			}
+		}
+	}
+	for k, v := range want {
+		got, ok := c.Lookup(k)
+		if !ok || got != v {
+			t.Fatalf("post-hammer Lookup(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	if c.Len() != uint64(len(want)) {
+		t.Errorf("Len = %d, want %d", c.Len(), len(want))
+	}
+}
+
+func TestConcurrentRange(t *testing.T) {
+	c := newConcurrent()
+	for k := uint64(0); k < 500; k++ {
+		c.Insert(k, k)
+	}
+	n := 0
+	c.Range(func(k, v uint64) bool { n++; return true })
+	if n != 500 {
+		t.Errorf("Range visited %d", n)
+	}
+}
+
+func BenchmarkConcurrentLookup(b *testing.B) {
+	c := newConcurrent()
+	for k := uint64(0); k < 100000; k++ {
+		c.Insert(k, k)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		k := uint64(0)
+		for pb.Next() {
+			c.Lookup(k % 100000)
+			k++
+		}
+	})
+}

@@ -1,0 +1,523 @@
+// Package cuckoo implements a W-way elastic cuckoo hash table — the core
+// algorithm of Elastic Cuckoo Page Tables (Skarlatos et al., ASPLOS'20) that
+// the paper's baseline and contribution both build on.
+//
+// The table is set-associative: each of the W ways is an array of slots and
+// has its own hash function. An element lives in exactly one way, at the
+// index its hash selects there. Insertion kicks out conflicting occupants and
+// re-inserts them into other ways (cuckoo hashing). Resizing is *elastic*:
+// a new table twice (or half) the size is allocated, and entries migrate
+// gradually — one batch per insertion — tracked by a per-way rehash pointer
+// that splits each old way into a migrated and a live region.
+//
+// This package implements the out-of-place variant used by the ECPT baseline
+// and by general-purpose uses (e.g. the key-value store example). The
+// in-place, per-way, chunked variant — the paper's contribution — lives in
+// package mehpt.
+package cuckoo
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hashfn"
+)
+
+// EmptyKey marks an unoccupied slot. Virtual page numbers are at most
+// 2^36 for 48-bit addresses, so the sentinel can never collide with a key.
+const EmptyKey = ^uint64(0)
+
+// Entry is one table slot: an 8-byte packed key tag plus value, mirroring
+// the paper's compacted HPT entries (tag stored in unused PTE bits).
+type Entry struct {
+	Key uint64
+	Val uint64
+}
+
+// ErrTableFull is returned when an insertion cannot be placed even after
+// forcing resizes; with the paper's occupancy thresholds this indicates a
+// misconfiguration (e.g. MaxSize reached).
+var ErrTableFull = errors.New("cuckoo: table full")
+
+// Config parameterizes a Table.
+type Config struct {
+	Ways           int     // number of ways W (the paper uses 3)
+	InitialEntries uint64  // initial per-way slot count, a power of two
+	MaxEntries     uint64  // per-way slot cap; 0 means unlimited
+	UpsizeAt       float64 // occupancy ratio triggering an upsize (0.6)
+	DownsizeAt     float64 // occupancy ratio triggering a downsize (0.2)
+	MaxKicks       int     // bound on cuckoo displacement chains
+	RehashBatch    int     // entries migrated per insertion during a resize
+	HashSeed       uint64  // base seed for the per-way hash family
+	Rand           *rand.Rand
+	Hooks          Hooks
+}
+
+// Hooks let the embedding page table observe and cost the table's physical
+// behaviour without the algorithm knowing about physical memory.
+type Hooks struct {
+	// AllocWays is called when a resize needs W new ways of the given
+	// per-way slot count. Returning an error aborts the resize attempt
+	// (e.g. contiguous allocation failed); the table stays at its size.
+	AllocWays func(entriesPerWay uint64) error
+	// FreeWays is called when the old ways are released after a resize.
+	FreeWays func(entriesPerWay uint64)
+	// OnKick is called for every cuckoo re-insertion (displacement).
+	OnKick func()
+	// OnReinsertions is called once per top-level insert or rehash with the
+	// number of displacements it needed (Figure 16's distribution).
+	OnReinsertions func(n int)
+	// OnMove is called for every entry migrated between tables by the
+	// gradual rehash (Figure 13's data-movement metric).
+	OnMove func()
+}
+
+// Stats aggregates operation counts.
+type Stats struct {
+	Inserts    uint64
+	Lookups    uint64
+	Deletes    uint64
+	Kicks      uint64 // total cuckoo re-insertions
+	Moves      uint64 // entries migrated by gradual rehash
+	Upsizes    uint64
+	Downsizes  uint64
+	FailedUps  uint64 // upsizes aborted by allocation failure
+	ProbeSlots uint64 // slots examined by lookups
+}
+
+// way is one hash way of a (sub)table.
+type way struct {
+	slots []Entry
+	fn    hashfn.Func
+}
+
+func newWay(entries uint64, fn hashfn.Func) *way {
+	w := &way{slots: make([]Entry, entries), fn: fn}
+	for i := range w.slots {
+		w.slots[i].Key = EmptyKey
+	}
+	return w
+}
+
+func (w *way) size() uint64 { return uint64(len(w.slots)) }
+
+// Table is the elastic cuckoo hash table. It is not safe for concurrent use.
+type Table struct {
+	cfg  Config
+	fns  []hashfn.Func
+	cur  []*way // current table, one per way
+	next []*way // resize target, nil when not resizing
+	// rehashPtr[i] splits cur[i] into migrated [0,p) and live [p,size).
+	rehashPtr []uint64
+	occupied  uint64
+	stats     Stats
+	rng       *rand.Rand
+}
+
+// New creates an empty table. It panics on invalid configuration, since all
+// callers construct configs from compile-time constants.
+func New(cfg Config) *Table {
+	if cfg.Ways < 2 {
+		panic("cuckoo: need at least 2 ways")
+	}
+	if cfg.InitialEntries == 0 || cfg.InitialEntries&(cfg.InitialEntries-1) != 0 {
+		panic(fmt.Sprintf("cuckoo: initial entries %d must be a power of two", cfg.InitialEntries))
+	}
+	if cfg.UpsizeAt <= 0 {
+		cfg.UpsizeAt = 0.6
+	}
+	if cfg.DownsizeAt < 0 {
+		cfg.DownsizeAt = 0.2
+	}
+	if cfg.MaxKicks <= 0 {
+		cfg.MaxKicks = 32
+	}
+	if cfg.RehashBatch <= 0 {
+		cfg.RehashBatch = 1
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(int64(cfg.HashSeed) + 1))
+	}
+	t := &Table{
+		cfg:       cfg,
+		fns:       hashfn.Family(cfg.HashSeed, cfg.Ways),
+		cur:       make([]*way, cfg.Ways),
+		rehashPtr: make([]uint64, cfg.Ways),
+		rng:       rng,
+	}
+	for i := range t.cur {
+		t.cur[i] = newWay(cfg.InitialEntries, t.fns[i])
+	}
+	if t.cfg.Hooks.AllocWays != nil {
+		if err := t.cfg.Hooks.AllocWays(cfg.InitialEntries); err != nil {
+			panic(fmt.Sprintf("cuckoo: initial allocation failed: %v", err))
+		}
+	}
+	return t
+}
+
+// Len returns the number of elements stored.
+func (t *Table) Len() uint64 { return t.occupied }
+
+// EntriesPerWay returns the current per-way slot count (of the table being
+// migrated *into* if a resize is in flight, since that is the steady-state
+// size).
+func (t *Table) EntriesPerWay() uint64 {
+	if t.next != nil {
+		return t.next[0].size()
+	}
+	return t.cur[0].size()
+}
+
+// Capacity returns the total live slot count across ways. During a resize
+// this counts the target table, matching how occupancy thresholds are
+// evaluated.
+func (t *Table) Capacity() uint64 {
+	return t.EntriesPerWay() * uint64(t.cfg.Ways)
+}
+
+// Resizing reports whether a gradual resize is in flight.
+func (t *Table) Resizing() bool { return t.next != nil }
+
+// Stats returns the accumulated operation counts.
+func (t *Table) Stats() Stats { return t.stats }
+
+// Ways returns W.
+func (t *Table) Ways() int { return t.cfg.Ways }
+
+// occupancy is evaluated against the resize-target capacity.
+func (t *Table) occupancy() float64 {
+	return float64(t.occupied) / float64(t.Capacity())
+}
+
+// locate returns the way array and index at which key would live in way i,
+// honouring the rehash pointer during resizes: hash keys below the pointer
+// have been migrated, so the new table is authoritative for them.
+func (t *Table) locate(i int, key uint64) (*way, uint64) {
+	w := t.cur[i]
+	idx := w.fn.Index(key, w.size())
+	if t.next != nil {
+		if idx < t.rehashPtr[i] {
+			nw := t.next[i]
+			return nw, nw.fn.Index(key, nw.size())
+		}
+	}
+	return w, idx
+}
+
+// Probe returns, for way i, whether a lookup of key would probe the
+// resize-target table (inNext) and at which slot index — the information a
+// hardware walker derives from the rehash pointers, which the embedding
+// page table needs to compute probe addresses.
+func (t *Table) Probe(i int, key uint64) (inNext bool, idx uint64) {
+	w := t.cur[i]
+	oldIdx := w.fn.Index(key, w.size())
+	if t.next != nil && oldIdx < t.rehashPtr[i] {
+		nw := t.next[i]
+		return true, nw.fn.Index(key, nw.size())
+	}
+	return false, oldIdx
+}
+
+// WayOf returns the way index currently holding key.
+func (t *Table) WayOf(key uint64) (int, bool) {
+	for i := 0; i < t.cfg.Ways; i++ {
+		w, idx := t.locate(i, key)
+		if w.slots[idx].Key == key {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Lookup returns the value stored for key.
+func (t *Table) Lookup(key uint64) (uint64, bool) {
+	t.stats.Lookups++
+	for i := 0; i < t.cfg.Ways; i++ {
+		w, idx := t.locate(i, key)
+		t.stats.ProbeSlots++
+		if w.slots[idx].Key == key {
+			return w.slots[idx].Val, true
+		}
+	}
+	return 0, false
+}
+
+// Insert adds key with value val. If key is already present its value is
+// replaced. It returns the number of cuckoo re-insertions performed.
+func (t *Table) Insert(key, val uint64) (int, error) {
+	// Reuse the slot if the key is already present (remap).
+	for i := 0; i < t.cfg.Ways; i++ {
+		w, idx := t.locate(i, key)
+		if w.slots[idx].Key == key {
+			w.slots[idx].Val = val
+			return 0, nil
+		}
+	}
+	if t.next != nil {
+		t.rehashStep(t.cfg.RehashBatch)
+	}
+	kicks, err := t.place(Entry{Key: key, Val: val}, -1, 0)
+	if err != nil {
+		return kicks, err
+	}
+	t.stats.Inserts++
+	t.occupied++
+	if t.cfg.Hooks.OnReinsertions != nil {
+		t.cfg.Hooks.OnReinsertions(kicks)
+	}
+	t.maybeResize()
+	return kicks, nil
+}
+
+// place inserts e starting at a random way other than exclude, displacing
+// occupants cuckoo-style. depth counts displacements so far.
+func (t *Table) place(e Entry, exclude int, depth int) (int, error) {
+	if depth > t.cfg.MaxKicks {
+		// Displacement chain too long: force progress. If a resize is in
+		// flight, drain it; otherwise start an upsize. Then retry once.
+		if t.next != nil {
+			t.drainResize()
+		} else if err := t.forceUpsize(); err != nil {
+			return depth, fmt.Errorf("%w: %v", ErrTableFull, err)
+		}
+		return t.placeRetry(e, depth)
+	}
+	i := t.pickWay(exclude)
+	w, idx := t.locate(i, e.Key)
+	if w.slots[idx].Key == EmptyKey {
+		w.slots[idx] = e
+		return depth, nil
+	}
+	victim := w.slots[idx]
+	w.slots[idx] = e
+	t.stats.Kicks++
+	if t.cfg.Hooks.OnKick != nil {
+		t.cfg.Hooks.OnKick()
+	}
+	return t.place(victim, i, depth+1)
+}
+
+// placeRetry re-attempts placement after a forced resize, without counting
+// additional kick depth against the limit more than once.
+func (t *Table) placeRetry(e Entry, depth int) (int, error) {
+	for attempt := 0; attempt < 3; attempt++ {
+		kicks, err := t.place(e, -1, 0)
+		if err == nil {
+			return depth + kicks, nil
+		}
+		if t.next != nil {
+			t.drainResize()
+			continue
+		}
+		if err2 := t.forceUpsize(); err2 != nil {
+			return depth, fmt.Errorf("%w after retries: %v", ErrTableFull, err2)
+		}
+	}
+	return depth, ErrTableFull
+}
+
+// forceUpsize starts an upsize regardless of occupancy, used to break
+// over-long displacement chains. It still honours the per-way cap.
+func (t *Table) forceUpsize() error {
+	size := t.cur[0].size()
+	if t.cfg.MaxEntries > 0 && size*2 > t.cfg.MaxEntries {
+		return fmt.Errorf("per-way cap %d entries reached", t.cfg.MaxEntries)
+	}
+	return t.startResize(size * 2)
+}
+
+func (t *Table) pickWay(exclude int) int {
+	if exclude < 0 {
+		return t.rng.Intn(t.cfg.Ways)
+	}
+	i := t.rng.Intn(t.cfg.Ways - 1)
+	if i >= exclude {
+		i++
+	}
+	return i
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Table) Delete(key uint64) bool {
+	for i := 0; i < t.cfg.Ways; i++ {
+		w, idx := t.locate(i, key)
+		t.stats.ProbeSlots++
+		if w.slots[idx].Key == key {
+			w.slots[idx].Key = EmptyKey
+			w.slots[idx].Val = 0
+			t.occupied--
+			t.stats.Deletes++
+			t.maybeResize()
+			return true
+		}
+	}
+	return false
+}
+
+// maybeResize starts an upsize or downsize if occupancy crossed a threshold
+// and no resize is already in flight.
+func (t *Table) maybeResize() {
+	if t.next != nil {
+		return
+	}
+	size := t.cur[0].size()
+	switch {
+	case t.occupancy() > t.cfg.UpsizeAt:
+		if t.cfg.MaxEntries > 0 && size*2 > t.cfg.MaxEntries {
+			return
+		}
+		if err := t.startResize(size * 2); err != nil {
+			t.stats.FailedUps++
+		}
+	case t.occupancy() < t.cfg.DownsizeAt && size > t.cfg.InitialEntries:
+		// Downsizing can always find memory (smaller allocation).
+		_ = t.startResize(size / 2)
+	}
+}
+
+// startResize allocates the target table and begins gradual migration.
+func (t *Table) startResize(newEntries uint64) error {
+	if t.cfg.Hooks.AllocWays != nil {
+		if err := t.cfg.Hooks.AllocWays(newEntries); err != nil {
+			return err
+		}
+	}
+	t.next = make([]*way, t.cfg.Ways)
+	for i := range t.next {
+		t.next[i] = newWay(newEntries, t.fns[i])
+	}
+	for i := range t.rehashPtr {
+		t.rehashPtr[i] = 0
+	}
+	if newEntries > t.cur[0].size() {
+		t.stats.Upsizes++
+	} else {
+		t.stats.Downsizes++
+	}
+	return nil
+}
+
+// rehashStep migrates up to batch entries from the live regions of the old
+// ways into the new table, advancing the rehash pointers round-robin.
+func (t *Table) rehashStep(batch int) {
+	for n := 0; n < batch && t.next != nil; {
+		advanced := false
+		for i := 0; i < t.cfg.Ways && n < batch; i++ {
+			if t.rehashPtr[i] >= t.cur[i].size() {
+				continue
+			}
+			t.migrateOne(i)
+			n++
+			advanced = true
+		}
+		if !advanced {
+			t.finishResize()
+			return
+		}
+	}
+	if t.next != nil && t.rehashDone() {
+		t.finishResize()
+	}
+}
+
+// migrateOne rehashes the entry under way i's rehash pointer into the new
+// table and advances the pointer.
+func (t *Table) migrateOne(i int) {
+	w := t.cur[i]
+	p := t.rehashPtr[i]
+	e := w.slots[p]
+	t.rehashPtr[i] = p + 1
+	if e.Key == EmptyKey {
+		return
+	}
+	w.slots[p].Key = EmptyKey
+	t.stats.Moves++
+	if t.cfg.Hooks.OnMove != nil {
+		t.cfg.Hooks.OnMove()
+	}
+	// Insert into the same way of the new table; conflicts cuckoo onward.
+	nw := t.next[i]
+	idx := nw.fn.Index(e.Key, nw.size())
+	kicks := 0
+	if nw.slots[idx].Key == EmptyKey {
+		nw.slots[idx] = e
+	} else {
+		victim := nw.slots[idx]
+		nw.slots[idx] = e
+		t.stats.Kicks++
+		if t.cfg.Hooks.OnKick != nil {
+			t.cfg.Hooks.OnKick()
+		}
+		var err error
+		kicks, err = t.place(victim, i, 1)
+		if err != nil {
+			// With sane thresholds this cannot happen; make it loud.
+			panic(fmt.Sprintf("cuckoo: migration failed: %v", err))
+		}
+	}
+	if t.cfg.Hooks.OnReinsertions != nil {
+		t.cfg.Hooks.OnReinsertions(kicks)
+	}
+}
+
+func (t *Table) rehashDone() bool {
+	for i := range t.rehashPtr {
+		if t.rehashPtr[i] < t.cur[i].size() {
+			return false
+		}
+	}
+	return true
+}
+
+// drainResize completes an in-flight resize synchronously.
+func (t *Table) drainResize() {
+	for t.next != nil {
+		t.rehashStep(1024)
+	}
+}
+
+// DrainResize completes any in-flight gradual resize. Page-table callers use
+// it when tearing down a process.
+func (t *Table) DrainResize() { t.drainResize() }
+
+func (t *Table) finishResize() {
+	oldEntries := t.cur[0].size()
+	t.cur = t.next
+	t.next = nil
+	if t.cfg.Hooks.FreeWays != nil {
+		t.cfg.Hooks.FreeWays(oldEntries)
+	}
+}
+
+// Range calls f for every element until f returns false. Order is
+// unspecified. The table must not be mutated during iteration.
+func (t *Table) Range(f func(key, val uint64) bool) {
+	visit := func(ws []*way, skipMigrated bool) bool {
+		for i, w := range ws {
+			start := uint64(0)
+			if skipMigrated {
+				start = t.rehashPtr[i]
+			}
+			for idx := start; idx < w.size(); idx++ {
+				if w.slots[idx].Key == EmptyKey {
+					continue
+				}
+				if !f(w.slots[idx].Key, w.slots[idx].Val) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if t.next != nil {
+		if !visit(t.next, false) {
+			return
+		}
+		visit(t.cur, true)
+		return
+	}
+	visit(t.cur, false)
+}

@@ -1,0 +1,94 @@
+package cwc
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	w := New()
+	va := addr.VirtAddr(0x1234_5000)
+	hit, fetch, lat := w.Probe(va)
+	if hit {
+		t.Fatal("cold probe hit")
+	}
+	if fetch == 0 {
+		t.Fatal("miss returned no CWT fetch address")
+	}
+	if lat != Latency {
+		t.Errorf("latency = %d, want %d", lat, Latency)
+	}
+	hit, _, _ = w.Probe(va)
+	if !hit {
+		t.Fatal("second probe missed after fill")
+	}
+	st := w.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRegionGranularity(t *testing.T) {
+	w := New()
+	base := addr.VirtAddr(0x4000_0000) // 2MB-aligned
+	w.Probe(base)
+	// Same 2MB region: hit.
+	if hit, _, _ := w.Probe(base + 0x1F_FFFF); !hit {
+		t.Error("same-region probe missed")
+	}
+	// Next 2MB region, same 1GB region: the PUD-grain cache covers it.
+	if hit, _, _ := w.Probe(base + 2*addr.MB); !hit {
+		t.Error("same-1GB-region probe missed despite PUD-grain entry")
+	}
+	// A different 1GB region misses both caches.
+	if hit, _, _ := w.Probe(base + 8*addr.GB); hit {
+		t.Error("distant probe hit")
+	}
+}
+
+func TestLRUCapacity(t *testing.T) {
+	w := New()
+	// Fill the 16-entry PMD cache with regions from one 1GB area... which
+	// would all hit via the PUD entry; use distinct 1GB regions beyond the
+	// 2-entry PUD cache to force PMD behaviour: alternate far apart.
+	// Simpler: verify that 20 distinct 1GB regions thrash the 2-entry PUD
+	// cache and 16-entry PMD cache.
+	for i := 0; i < 20; i++ {
+		w.Probe(addr.VirtAddr(uint64(i) * addr.GB))
+	}
+	// The earliest region must have been evicted from both.
+	if hit, _, _ := w.Probe(addr.VirtAddr(0)); hit {
+		t.Error("region 0 survived 20 distinct 1GB regions")
+	}
+}
+
+func TestCWTFetchAddressesDistinct(t *testing.T) {
+	w := New()
+	_, f1, _ := w.Probe(addr.VirtAddr(0))
+	_, f2, _ := w.Probe(addr.VirtAddr(100 * addr.GB))
+	if f1 == f2 {
+		t.Error("distinct regions share a CWT fetch address")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	w := New()
+	// Use two far-apart VAs so the PUD cache entries differ.
+	a := addr.VirtAddr(5 * addr.GB)
+	b := addr.VirtAddr(9 * addr.GB)
+	w.Probe(a)
+	w.Probe(b)
+	w.Invalidate(a)
+	// a's PMD entry is gone; its PUD entry may survive, so probe a VA in
+	// a's 2MB region but through a fresh walker to check PMD-level removal.
+	found := false
+	for _, tag := range w.pmd.tags {
+		if tag == uint64(a)>>21+1 {
+			found = true
+		}
+	}
+	if found {
+		t.Error("invalidated PMD region still cached")
+	}
+}

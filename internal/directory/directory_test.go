@@ -1,0 +1,133 @@
+package directory
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func line(i int) addr.PhysAddr { return addr.PhysAddr(i * 64) }
+
+func TestReadWriteProtocol(t *testing.T) {
+	d := New(8, 1)
+	// Two readers share the line.
+	if err := d.Read(line(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(line(1), 3); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := d.Lookup(line(1))
+	if !ok || s.Sharers != 0b1001 || s.Modified {
+		t.Fatalf("state = %+v,%v", s, ok)
+	}
+	// A writer invalidates both and becomes owner.
+	inv, err := d.Write(line(1), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv != 2 {
+		t.Errorf("invalidations = %d, want 2", inv)
+	}
+	s, _ = d.Lookup(line(1))
+	if !s.Modified || s.Owner != 5 || s.Sharers != 1<<5 {
+		t.Fatalf("after write: %+v", s)
+	}
+	// A later read downgrades the owner.
+	d.Read(line(1), 0)
+	s, _ = d.Lookup(line(1))
+	if s.Modified || s.Owner != -1 || s.Sharers != (1<<5|1) {
+		t.Fatalf("after downgrade: %+v", s)
+	}
+}
+
+func TestWriteByExistingSharerInvalidatesOthersOnly(t *testing.T) {
+	d := New(4, 2)
+	d.Read(line(9), 0)
+	d.Read(line(9), 1)
+	inv, _ := d.Write(line(9), 0)
+	if inv != 1 {
+		t.Errorf("invalidations = %d, want 1 (self excluded)", inv)
+	}
+}
+
+func TestEvictionLifecycle(t *testing.T) {
+	d := New(8, 3)
+	d.Read(line(2), 1)
+	d.Read(line(2), 2)
+	if !d.Evict(line(2), 1) {
+		t.Fatal("evict of sharer failed")
+	}
+	s, ok := d.Lookup(line(2))
+	if !ok || s.Sharers != 1<<2 {
+		t.Fatalf("state after evict: %+v,%v", s, ok)
+	}
+	if !d.Evict(line(2), 2) {
+		t.Fatal("last evict failed")
+	}
+	if _, ok := d.Lookup(line(2)); ok {
+		t.Error("entry survived last eviction")
+	}
+	if d.Evict(line(2), 2) {
+		t.Error("evict of untracked line succeeded")
+	}
+	if d.Lines() != 0 {
+		t.Errorf("Lines = %d", d.Lines())
+	}
+}
+
+// TestElasticGrowthAndShrink: the directory resizes like the page tables —
+// the Section VIII point.
+func TestElasticGrowthAndShrink(t *testing.T) {
+	d := New(16, 4)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if err := d.Read(line(i), i%16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.TableStats().Upsizes == 0 {
+		t.Error("no upsizes tracking 20k lines")
+	}
+	grown := d.EntriesPerWay()
+	for i := 0; i < n; i++ {
+		d.Evict(line(i), i%16)
+	}
+	if d.Lines() != 0 {
+		t.Fatalf("lines = %d after full eviction", d.Lines())
+	}
+	// Trigger remaining gradual downsizes with a little churn.
+	for i := 0; i < 2000; i++ {
+		d.Read(line(i), 0)
+		d.Evict(line(i), 0)
+	}
+	if d.EntriesPerWay() >= grown {
+		t.Errorf("directory did not shrink: %d -> %d", grown, d.EntriesPerWay())
+	}
+}
+
+func TestPackUnpackProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		s := State{
+			Sharers:  rng.Uint64() & ((1 << MaxCores) - 1),
+			Owner:    rng.Intn(MaxCores+1) - 1, // -1..47
+			Modified: rng.Intn(2) == 0,
+		}
+		got := unpack(pack(s))
+		if got != s {
+			t.Fatalf("round trip: %+v -> %+v", s, got)
+		}
+	}
+}
+
+func TestBadCorePanics(t *testing.T) {
+	d := New(4, 6)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range core accepted")
+		}
+	}()
+	d.Read(line(0), 4)
+}

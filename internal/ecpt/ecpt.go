@@ -1,0 +1,228 @@
+// Package ecpt implements the baseline page-table organization the paper
+// compares against: Elastic Cuckoo Page Tables (Skarlatos et al.,
+// ASPLOS'20). Each page size has a W-way elastic cuckoo table whose ways
+// are allocated in *contiguous* physical memory and which resizes out of
+// place, all ways together — exactly the properties ME-HPT removes.
+package ecpt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+	"repro/internal/cuckoo"
+	"repro/internal/phys"
+	"repro/internal/pt"
+	"repro/internal/stats"
+)
+
+// Config parameterizes an ECPT.
+type Config struct {
+	Ways           int
+	InitialEntries uint64  // 128 → 8KB ways (Table III)
+	UpsizeAt       float64 // 0.6
+	DownsizeAt     float64 // 0.2
+	MaxKicks       int
+	RehashBatch    int
+	HashSeed       uint64
+	Rand           *rand.Rand
+}
+
+// DefaultConfig returns the paper's Table III baseline configuration.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Ways:           3,
+		InitialEntries: 128,
+		UpsizeAt:       0.6,
+		DownsizeAt:     0.2,
+		MaxKicks:       32,
+		RehashBatch:    1,
+		HashSeed:       seed,
+	}
+}
+
+// Stats aggregates per-table behaviour.
+type Stats struct {
+	MaxContiguousAlloc uint64
+	AllocCycles        uint64
+	PeakFootprintBytes uint64
+	FailedAllocs       uint64
+	Reinsertions       stats.Histogram
+	Upsizes            uint64
+	Downsizes          uint64
+	Moves              uint64
+}
+
+// group is one generation of contiguously-allocated ways.
+type group struct {
+	entriesPerWay uint64
+	bases         []addr.PPN
+}
+
+// Table is one per-page-size ECPT.
+type Table struct {
+	size  addr.PageSize
+	ways  int
+	tb    *cuckoo.Table
+	alloc *phys.Allocator
+	// groups holds live way allocations oldest-first: during a resize the
+	// first group backs the old table and the last the new one.
+	groups []group
+	stats  Stats
+}
+
+// NewTable creates an ECPT for one page size with contiguous initial ways.
+func NewTable(size addr.PageSize, alloc *phys.Allocator, cfg Config) (*Table, error) {
+	t := &Table{size: size, ways: cfg.Ways, alloc: alloc}
+	ccfg := cuckoo.Config{
+		Ways:           cfg.Ways,
+		InitialEntries: cfg.InitialEntries,
+		UpsizeAt:       cfg.UpsizeAt,
+		DownsizeAt:     cfg.DownsizeAt,
+		MaxKicks:       cfg.MaxKicks,
+		RehashBatch:    cfg.RehashBatch,
+		HashSeed:       cfg.HashSeed + uint64(size)*0x2000,
+		Rand:           cfg.Rand,
+		Hooks: cuckoo.Hooks{
+			AllocWays:      t.allocWays,
+			FreeWays:       t.freeWays,
+			OnReinsertions: func(n int) { t.stats.Reinsertions.Add(n) },
+			OnMove:         func() { t.stats.Moves++ },
+		},
+	}
+	// cuckoo.New invokes AllocWays for the initial ways and panics on
+	// failure; convert that to an error for the caller.
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("ecpt: initial way allocation: %v", r)
+			}
+		}()
+		t.tb = cuckoo.New(ccfg)
+		return nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// allocWays allocates one contiguous region per way — the requirement that
+// motivates the paper. Each way of entriesPerWay slots is entriesPerWay ×
+// 64B of physically contiguous memory.
+func (t *Table) allocWays(entriesPerWay uint64) error {
+	wayBytes := entriesPerWay * pt.EntryBytes
+	g := group{entriesPerWay: entriesPerWay}
+	for i := 0; i < t.ways; i++ {
+		ppn, cycles, err := t.alloc.Alloc(wayBytes)
+		t.stats.AllocCycles += cycles
+		if err != nil {
+			for _, b := range g.bases {
+				t.alloc.Free(b, wayBytes)
+			}
+			t.stats.FailedAllocs++
+			return err
+		}
+		g.bases = append(g.bases, ppn)
+	}
+	if wayBytes > t.stats.MaxContiguousAlloc {
+		t.stats.MaxContiguousAlloc = wayBytes
+	}
+	t.groups = append(t.groups, g)
+	t.notePeak()
+	return nil
+}
+
+func (t *Table) freeWays(entriesPerWay uint64) {
+	wayBytes := entriesPerWay * pt.EntryBytes
+	for gi, g := range t.groups {
+		if g.entriesPerWay == entriesPerWay {
+			for _, b := range g.bases {
+				t.alloc.Free(b, wayBytes)
+			}
+			t.groups = append(t.groups[:gi], t.groups[gi+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("ecpt: freeWays(%d): no matching allocation", entriesPerWay))
+}
+
+func (t *Table) notePeak() {
+	if f := t.FootprintBytes(); f > t.stats.PeakFootprintBytes {
+		t.stats.PeakFootprintBytes = f
+	}
+}
+
+// FootprintBytes returns the physical page-table memory currently held —
+// old and new tables both count while a gradual resize is in flight, which
+// is the memory overhead in-place resizing eliminates.
+func (t *Table) FootprintBytes() uint64 {
+	var b uint64
+	for _, g := range t.groups {
+		b += g.entriesPerWay * pt.EntryBytes * uint64(len(g.bases))
+	}
+	return b
+}
+
+// Stats returns a copy of the accumulated statistics, folding in the
+// underlying cuckoo table's counters.
+func (t *Table) Stats() Stats {
+	s := t.stats
+	s.Reinsertions = stats.Histogram{}
+	s.Reinsertions.Merge(&t.stats.Reinsertions)
+	cs := t.tb.Stats()
+	s.Upsizes = cs.Upsizes
+	s.Downsizes = cs.Downsizes
+	return s
+}
+
+// Len returns the number of clustered entries stored.
+func (t *Table) Len() uint64 { return t.tb.Len() }
+
+// EntriesPerWay returns the steady-state per-way slot count.
+func (t *Table) EntriesPerWay() uint64 { return t.tb.EntriesPerWay() }
+
+// WayBytes returns the contiguous size of one way.
+func (t *Table) WayBytes() uint64 { return t.tb.EntriesPerWay() * pt.EntryBytes }
+
+// Resizing reports whether a gradual resize is in flight.
+func (t *Table) Resizing() bool { return t.tb.Resizing() }
+
+// DrainResize completes any in-flight resize.
+func (t *Table) DrainResize() { t.tb.DrainResize() }
+
+// Insert stores key→val.
+func (t *Table) Insert(key, val uint64) (int, error) { return t.tb.Insert(key, val) }
+
+// Lookup returns the value for key.
+func (t *Table) Lookup(key uint64) (uint64, bool) { return t.tb.Lookup(key) }
+
+// Delete removes key.
+func (t *Table) Delete(key uint64) bool { return t.tb.Delete(key) }
+
+// WayOf returns the way holding key.
+func (t *Table) WayOf(key uint64) (int, bool) { return t.tb.WayOf(key) }
+
+// ProbeAddr returns the physical address way i's hardware probe for key
+// touches, resolving through the rehash pointers to old or new ways.
+func (t *Table) ProbeAddr(i int, key uint64) addr.PhysAddr {
+	inNext, idx := t.tb.Probe(i, key)
+	gi := 0
+	if inNext {
+		gi = len(t.groups) - 1
+	}
+	g := t.groups[gi]
+	return g.bases[i].Addr(addr.Page4K) + addr.PhysAddr(idx*pt.EntryBytes)
+}
+
+// Free releases all physical memory (process teardown).
+func (t *Table) Free() {
+	t.tb.DrainResize()
+	for _, g := range t.groups {
+		wayBytes := g.entriesPerWay * pt.EntryBytes
+		for _, b := range g.bases {
+			t.alloc.Free(b, wayBytes)
+		}
+	}
+	t.groups = nil
+}

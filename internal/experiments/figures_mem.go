@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/addr"
+	"repro/internal/mehpt"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Figure8Row is one application's bars in Figure 8: the maximum contiguous
+// memory allocated for page tables under each configuration.
+type Figure8Row struct {
+	App      string
+	ECPT     uint64
+	ECPTTHP  uint64
+	MEHPT    uint64
+	MEHPTTHP uint64
+}
+
+// Figure8 measures the maximum contiguous page-table allocation of ECPT vs
+// ME-HPT, with and without THP.
+func Figure8(o Options) []Figure8Row {
+	rows := make([]Figure8Row, 0, 11)
+	for _, spec := range o.specs() {
+		rows = append(rows, Figure8Row{
+			App:      spec.Name,
+			ECPT:     o.populate(spec, sim.ECPT, false, nil).MaxContiguous,
+			ECPTTHP:  o.populate(spec, sim.ECPT, true, nil).MaxContiguous,
+			MEHPT:    o.populate(spec, sim.MEHPT, false, nil).MaxContiguous,
+			MEHPTTHP: o.populate(spec, sim.MEHPT, true, nil).MaxContiguous,
+		})
+	}
+	return rows
+}
+
+// FprintFigure8 renders Figure 8 with the headline reduction.
+func FprintFigure8(w io.Writer, rows []Figure8Row) {
+	fprintf(w, "Figure 8: maximum contiguous page-table allocation\n")
+	fprintf(w, "%-9s %10s %10s %10s %10s %10s\n", "App", "ECPT", "ECPT+THP", "ME-HPT", "ME-HPT+THP", "reduction")
+	var reds, redsTHP []float64
+	for _, r := range rows {
+		red := 1 - float64(r.MEHPT)/float64(r.ECPT)
+		reds = append(reds, red)
+		redsTHP = append(redsTHP, 1-float64(r.MEHPTTHP)/float64(r.ECPTTHP))
+		fprintf(w, "%-9s %10s %10s %10s %10s %9.0f%%\n", r.App,
+			stats.HumanBytes(r.ECPT), stats.HumanBytes(r.ECPTTHP),
+			stats.HumanBytes(r.MEHPT), stats.HumanBytes(r.MEHPTTHP), red*100)
+	}
+	fprintf(w, "Average reduction: %.0f%% (no THP), %.0f%% (THP); paper: 92%%, 84%%\n",
+		stats.Mean(reds)*100, stats.Mean(redsTHP)*100)
+}
+
+// Figure10Row decomposes the page-table memory reduction of ME-HPT over
+// ECPT into the contributions of in-place and per-way resizing.
+type Figure10Row struct {
+	App             string
+	THP             bool
+	ECPTPeak        uint64
+	MEHPTPeak       uint64
+	ReductionPct    float64
+	InPlaceSharePct float64 // of the reduction
+	PerWaySharePct  float64
+	AbsoluteBytes   uint64
+}
+
+// Figure10 runs the two single-technique ablations to split the reduction.
+func Figure10(o Options) []Figure10Row {
+	var rows []Figure10Row
+	for _, thp := range []bool{false, true} {
+		for _, spec := range o.specs() {
+			base := o.populate(spec, sim.ECPT, thp, nil)
+			full := o.populate(spec, sim.MEHPT, thp, nil)
+
+			ipOnly := mehpt.DefaultConfig(uint64(o.Seed))
+			ipOnly.PerWay = false
+			ipOnly.WeightedInsert = false
+			ip := o.populate(spec, sim.MEHPT, thp, &ipOnly)
+
+			pwOnly := mehpt.DefaultConfig(uint64(o.Seed))
+			pwOnly.InPlace = false
+			pw := o.populate(spec, sim.MEHPT, thp, &pwOnly)
+
+			row := Figure10Row{App: spec.Name, THP: thp,
+				ECPTPeak: base.PTPeakBytes, MEHPTPeak: full.PTPeakBytes}
+			if base.PTPeakBytes > full.PTPeakBytes {
+				row.AbsoluteBytes = base.PTPeakBytes - full.PTPeakBytes
+				row.ReductionPct = float64(row.AbsoluteBytes) / float64(base.PTPeakBytes) * 100
+			}
+			rIP := signedSub(base.PTPeakBytes, ip.PTPeakBytes)
+			rPW := signedSub(base.PTPeakBytes, pw.PTPeakBytes)
+			if rIP+rPW > 0 {
+				row.InPlaceSharePct = rIP / (rIP + rPW) * 100
+				row.PerWaySharePct = rPW / (rIP + rPW) * 100
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func signedSub(a, b uint64) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return 0
+}
+
+// FprintFigure10 renders Figure 10.
+func FprintFigure10(w io.Writer, rows []Figure10Row) {
+	fprintf(w, "Figure 10: page-table memory reduction of ME-HPT over ECPT\n")
+	fprintf(w, "%-9s %5s %10s %10s %8s %10s %9s %9s\n",
+		"App", "THP", "ECPT", "ME-HPT", "saved%", "savedMB", "in-place%", "per-way%")
+	var save, saveTHP []float64
+	for _, r := range rows {
+		fprintf(w, "%-9s %5v %10s %10s %7.0f%% %10.1f %8.0f%% %8.0f%%\n",
+			r.App, r.THP, stats.HumanBytes(r.ECPTPeak), stats.HumanBytes(r.MEHPTPeak),
+			r.ReductionPct, float64(r.AbsoluteBytes)/(1<<20),
+			r.InPlaceSharePct, r.PerWaySharePct)
+		if r.THP {
+			saveTHP = append(saveTHP, r.ReductionPct)
+		} else {
+			save = append(save, r.ReductionPct)
+		}
+	}
+	fprintf(w, "Average reduction: %.0f%% (no THP), %.0f%% (THP); paper: 43%%, 41%%\n",
+		stats.Mean(save), stats.Mean(saveTHP))
+}
+
+// Figure11Row reports the upsizing operations per way (4KB page tables).
+type Figure11Row struct {
+	App     string
+	Ways    []uint64 // upsizes per way, no THP
+	WaysTHP []uint64
+}
+
+// Figure11 reads the per-way upsize counters off populated ME-HPTs.
+func Figure11(o Options) []Figure11Row {
+	rows := make([]Figure11Row, 0, 11)
+	for _, spec := range o.specs() {
+		no := o.populate(spec, sim.MEHPT, false, nil)
+		thp := o.populate(spec, sim.MEHPT, true, nil)
+		rows = append(rows, Figure11Row{
+			App:     spec.Name,
+			Ways:    upsizes(no.MEHPT, addr.Page4K),
+			WaysTHP: upsizes(thp.MEHPT, addr.Page4K),
+		})
+	}
+	return rows
+}
+
+// FprintFigure11 renders Figure 11.
+func FprintFigure11(w io.Writer, rows []Figure11Row) {
+	fprintf(w, "Figure 11: upsizing operations per way (4KB page tables)\n")
+	fprintf(w, "%-9s %-18s %-18s\n", "App", "ways (no THP)", "ways (THP)")
+	for _, r := range rows {
+		fprintf(w, "%-9s %-18v %-18v\n", r.App, r.Ways, r.WaysTHP)
+	}
+}
+
+// Figure12Row reports the final size of each ME-HPT way for 4KB pages.
+type Figure12Row struct {
+	App         string
+	WayBytes    []uint64
+	WayBytesTHP []uint64
+}
+
+// Figure12 reads way sizes off populated ME-HPTs.
+func Figure12(o Options) []Figure12Row {
+	rows := make([]Figure12Row, 0, 11)
+	for _, spec := range o.specs() {
+		no := o.populate(spec, sim.MEHPT, false, nil)
+		thp := o.populate(spec, sim.MEHPT, true, nil)
+		rows = append(rows, Figure12Row{
+			App:         spec.Name,
+			WayBytes:    waySizesBytes(no.MEHPT, addr.Page4K),
+			WayBytesTHP: waySizesBytes(thp.MEHPT, addr.Page4K),
+		})
+	}
+	return rows
+}
+
+func waySizesBytes(p *mehpt.PageTable, s addr.PageSize) []uint64 {
+	t := p.Table(s)
+	if t == nil {
+		// The page size was never used: Figure 12 reports the would-be
+		// initial 8KB ways (matching the paper, where GUPS/SysBench with
+		// THP "retain the initial, smallest size").
+		return []uint64{8 << 10, 8 << 10, 8 << 10}
+	}
+	slots := t.WaySizes()
+	bytes := make([]uint64, len(slots))
+	for i, sl := range slots {
+		bytes[i] = sl * 64 // pt.EntryBytes
+	}
+	return bytes
+}
+
+// upsizes returns the per-way upsize counters, or zeros if the page size
+// was never used.
+func upsizes(p *mehpt.PageTable, s addr.PageSize) []uint64 {
+	t := p.Table(s)
+	if t == nil {
+		return []uint64{0, 0, 0}
+	}
+	return t.Stats().UpsizesPerWay
+}
+
+// FprintFigure12 renders Figure 12.
+func FprintFigure12(w io.Writer, rows []Figure12Row) {
+	fprintf(w, "Figure 12: final per-way sizes of the ME-HPT for 4KB pages\n")
+	fprintf(w, "%-9s %-30s %-30s\n", "App", "way sizes (no THP)", "way sizes (THP)")
+	for _, r := range rows {
+		fprintf(w, "%-9s %-30s %-30s\n", r.App, humanList(r.WayBytes), humanList(r.WayBytesTHP))
+	}
+}
+
+func humanList(bs []uint64) string {
+	s := "["
+	for i, b := range bs {
+		if i > 0 {
+			s += " "
+		}
+		s += stats.HumanBytes(b)
+	}
+	return s + "]"
+}
+
+// Figure14Row reports L2P table entry usage per application: the entries in
+// use at steady state (what the paper's Figure 14 reports) and the
+// transient peak, which spikes to 64/way just before a chunk-size
+// transition collapses the chunks.
+type Figure14Row struct {
+	App     string
+	Used    int
+	UsedTHP int
+	Peak    int
+}
+
+// Figure14 reads L2P usage off populated ME-HPTs.
+func Figure14(o Options) []Figure14Row {
+	rows := make([]Figure14Row, 0, 11)
+	for _, spec := range o.specs() {
+		no := o.populate(spec, sim.MEHPT, false, nil)
+		thp := o.populate(spec, sim.MEHPT, true, nil)
+		rows = append(rows, Figure14Row{
+			App:     spec.Name,
+			Used:    no.MEHPT.L2P().TotalUsed(),
+			UsedTHP: thp.MEHPT.L2P().TotalUsed(),
+			Peak:    no.MEHPT.L2P().PeakUsed(),
+		})
+	}
+	return rows
+}
+
+// FprintFigure14 renders Figure 14.
+func FprintFigure14(w io.Writer, rows []Figure14Row) {
+	fprintf(w, "Figure 14: L2P table entries used (capacity 288)\n")
+	fprintf(w, "%-9s %8s %8s %10s\n", "App", "noTHP", "THP", "peak-noTHP")
+	var all []float64
+	for _, r := range rows {
+		fprintf(w, "%-9s %8d %8d %10d\n", r.App, r.Used, r.UsedTHP, r.Peak)
+		all = append(all, float64(r.Used), float64(r.UsedTHP))
+	}
+	fprintf(w, "Average: %.1f entries (paper: 52.5)\n", stats.Mean(all))
+}
+
+// Figure15Row compares the average 4KB-HPT way size of the two chunk-ladder
+// designs for scaled-down graph inputs.
+type Figure15Row struct {
+	GraphNodes   uint64
+	Way1MBOnly   uint64 // bytes per way footprint with 1MB-only chunks
+	Way8KBPlus1M uint64
+}
+
+// Figure15 populates ME-HPTs for graphs of 1K/10K/100K nodes (vs the
+// standard 1M) under the default ladder and a 1MB-only ladder. The paper's
+// GraphBIG inputs translate to ≈9.3KB of touched memory per graph node.
+func Figure15(o Options) []Figure15Row {
+	const bytesPerNode = 9525 // ≈9.3KB; 1M nodes → 9.3GB (Table I)
+	var rows []Figure15Row
+	for _, nodes := range []uint64{1000, 10_000, 100_000} {
+		touched := nodes * bytesPerNode / o.Scale
+		if touched < 64*addr.KB {
+			touched = 64 * addr.KB
+		}
+		spec := workload.Spec{
+			Name: "graph-scaled", DataBytes: touched, TouchedBytes: touched,
+			Kind: workload.Dense, SeqFraction: 0.5,
+		}
+		def := o.populate(spec, sim.MEHPT, false, nil)
+
+		oneMB := mehpt.DefaultConfig(uint64(o.Seed))
+		oneMB.Ladder = []uint64{1 * addr.MB, 8 * addr.MB, 64 * addr.MB}
+		one := o.populate(spec, sim.MEHPT, false, &oneMB)
+
+		rows = append(rows, Figure15Row{
+			GraphNodes:   nodes,
+			Way1MBOnly:   avgWayFootprint(one.MEHPT, addr.Page4K),
+			Way8KBPlus1M: avgWayFootprint(def.MEHPT, addr.Page4K),
+		})
+	}
+	return rows
+}
+
+func avgWayFootprint(p *mehpt.PageTable, s addr.PageSize) uint64 {
+	t := p.Table(s)
+	if t == nil {
+		return 0
+	}
+	return t.FootprintBytes() / 3
+}
+
+// FprintFigure15 renders Figure 15.
+func FprintFigure15(w io.Writer, rows []Figure15Row) {
+	fprintf(w, "Figure 15: average 4KB-HPT way memory for small graphs\n")
+	fprintf(w, "%-12s %14s %14s\n", "Graph nodes", "ME-HPT(1MB)", "ME-HPT(1MB+8KB)")
+	for _, r := range rows {
+		fprintf(w, "%-12d %14s %14s\n", r.GraphNodes,
+			stats.HumanBytes(r.Way1MBOnly), stats.HumanBytes(r.Way8KBPlus1M))
+	}
+}

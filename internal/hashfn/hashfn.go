@@ -1,0 +1,64 @@
+// Package hashfn provides the seeded hash family used by the cuckoo page
+// tables. The paper's hardware uses CRC units (Table III: 2-cycle latency);
+// we use a CRC-64 over the virtual page number mixed with a per-way seed,
+// which gives the same uniform-distribution properties the cuckoo analysis
+// relies on.
+package hashfn
+
+import "hash/crc64"
+
+// Latency is the hash-unit latency in cycles charged by the timing model
+// (Table III: "Hash functions: CRC, Latency: 2 cyc").
+const Latency = 2
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Func is a seeded hash function over 64-bit keys (virtual page numbers).
+// Two Funcs with different seeds behave as independent hash functions, which
+// is what W-way cuckoo hashing requires.
+type Func struct {
+	seed uint64
+}
+
+// New returns the hash function with the given seed. Distinct ways of a
+// cuckoo table must use distinct seeds.
+func New(seed uint64) Func { return Func{seed: seed} }
+
+// Seed returns the seed this function was created with.
+func (f Func) Seed() uint64 { return f.seed }
+
+// Hash returns the 64-bit hash of key.
+func (f Func) Hash(key uint64) uint64 {
+	var buf [16]byte
+	x := key ^ (f.seed * 0x9E3779B97F4A7C15)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(x >> (8 * i))
+		buf[i+8] = byte(f.seed >> (8 * i))
+	}
+	h := crc64.Checksum(buf[:], crcTable)
+	// Final avalanche (splitmix64 finalizer) so low bits are well mixed even
+	// for sequential keys; cuckoo tables index with the low bits of the key.
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// Index returns the hash of key reduced modulo size. Size must be a power of
+// two; the reduction is a mask, mirroring the shift/mask hardware in the
+// paper's L2P path.
+func (f Func) Index(key, size uint64) uint64 {
+	return f.Hash(key) & (size - 1)
+}
+
+// Family returns n independent hash functions derived from a base seed,
+// one per cuckoo way.
+func Family(base uint64, n int) []Func {
+	fs := make([]Func, n)
+	for i := range fs {
+		fs[i] = New(base + uint64(i)*0x6A09E667F3BCC909 + 1)
+	}
+	return fs
+}

@@ -1,0 +1,98 @@
+package hashfn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	f := New(42)
+	if f.Hash(123) != f.Hash(123) {
+		t.Error("Hash is not deterministic")
+	}
+	g := New(42)
+	if f.Hash(999) != g.Hash(999) {
+		t.Error("same-seed functions disagree")
+	}
+}
+
+func TestSeedIndependence(t *testing.T) {
+	f, g := New(1), New(2)
+	same := 0
+	for k := uint64(0); k < 1000; k++ {
+		if f.Hash(k) == g.Hash(k) {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Errorf("different seeds collide on %d/1000 keys", same)
+	}
+}
+
+func TestIndexPowerOfTwo(t *testing.T) {
+	f := New(7)
+	check := func(key uint64, shift uint8) bool {
+		size := uint64(1) << (shift%20 + 1)
+		return f.Index(key, size) < size
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUniformity verifies that sequential VPNs (the common page-table
+// pattern) spread evenly across a power-of-two table.
+func TestUniformity(t *testing.T) {
+	const (
+		buckets = 64
+		keys    = 64 * 1024
+	)
+	for _, f := range Family(99, 3) {
+		counts := make([]int, buckets)
+		for k := uint64(0); k < keys; k++ {
+			counts[f.Index(k, buckets)]++
+		}
+		mean := keys / buckets
+		for b, c := range counts {
+			if c < mean*3/4 || c > mean*5/4 {
+				t.Errorf("seed %d bucket %d count %d out of [%d,%d]",
+					f.Seed(), b, c, mean*3/4, mean*5/4)
+			}
+		}
+	}
+}
+
+func TestFamilyDistinctSeeds(t *testing.T) {
+	fam := Family(0, 8)
+	seen := make(map[uint64]bool)
+	for _, f := range fam {
+		if seen[f.Seed()] {
+			t.Fatalf("duplicate seed %d in family", f.Seed())
+		}
+		seen[f.Seed()] = true
+	}
+}
+
+// TestUpsizeBitProperty checks the in-place-resizing invariant the paper's
+// Section IV-C relies on: indexing a 2x table uses the same low bits plus one
+// extra bit, so the new index is either the old index or old index + oldSize.
+func TestUpsizeBitProperty(t *testing.T) {
+	f := New(5)
+	check := func(key uint64) bool {
+		old := f.Index(key, 1024)
+		nw := f.Index(key, 2048)
+		return nw == old || nw == old+1024
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	f := New(3)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= f.Hash(uint64(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,192 @@
+// Package l2p models the Logical-to-Physical table — the small MMU-resident
+// indirection structure at the heart of ME-HPT (Sections IV-A and V-A).
+//
+// The L2P table of a process has, for each HPT way, three subtables of 32
+// entries each — one per page size. Each entry points to the physical base
+// of one chunk of that way. Subtables of the same way are laid out
+// contiguously with the rarely-used 1GB subtable in the middle, so a 4KB or
+// 2MB subtable that fills up can *steal* the whole 1GB region and grow to 64
+// entries; a 1GB subtable whose region was stolen borrows single entries
+// from the free end of the neighbouring subtable.
+//
+// This package does the entry accounting and capacity arithmetic; the chunk
+// package owns the chunk pointers themselves.
+package l2p
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// EntriesPerSubtable is the native capacity of one (way, page-size)
+// subtable: 32 entries (Section V-A).
+const EntriesPerSubtable = 32
+
+// StolenMax is the capacity of a subtable that has stolen the 1GB region.
+const StolenMax = 2 * EntriesPerSubtable
+
+// EntryBits is the width of one L2P entry: the base address of an 8KB-aligned
+// chunk in a 46-bit physical address space (Section V-B).
+const EntryBits = 33
+
+// noSteal marks a way whose 1GB region is intact.
+const noSteal = addr.PageSize(-1)
+
+// wayState tracks one way's three subtables.
+type wayState struct {
+	used  [addr.NumPageSizes]int
+	steal addr.PageSize // page size that stole the 1GB region, or noSteal
+}
+
+// Table is the per-process L2P table accounting model.
+type Table struct {
+	ways []wayState
+	peak int // peak total entries in use (Figure 14 reports usage)
+}
+
+// New returns an L2P table for the given number of HPT ways (the paper
+// uses 3, giving 32 × 3 sizes × 3 ways = 288 entries total).
+func New(ways int) *Table {
+	t := &Table{ways: make([]wayState, ways)}
+	for i := range t.ways {
+		t.ways[i].steal = noSteal
+	}
+	return t
+}
+
+// Ways returns the number of HPT ways covered.
+func (t *Table) Ways() int { return len(t.ways) }
+
+// TotalEntries returns the hardware capacity of the whole table.
+func (t *Table) TotalEntries() int {
+	return len(t.ways) * int(addr.NumPageSizes) * EntriesPerSubtable
+}
+
+// SizeBytes returns the hardware size of the table (1.16KB in the paper's
+// configuration: 288 entries × 33 bits).
+func (t *Table) SizeBytes() float64 {
+	return float64(t.TotalEntries()) * EntryBits / 8
+}
+
+// Used returns the number of entries in use by the given way and page size.
+func (t *Table) Used(way int, s addr.PageSize) int {
+	return t.ways[way].used[s]
+}
+
+// TotalUsed returns the number of entries currently in use across the table.
+func (t *Table) TotalUsed() int {
+	total := 0
+	for w := range t.ways {
+		for _, s := range addr.Sizes() {
+			total += t.ways[w].used[s]
+		}
+	}
+	return total
+}
+
+// PeakUsed returns the high-water mark of TotalUsed, the quantity Figure 14
+// reports per application.
+func (t *Table) PeakUsed() int { return t.peak }
+
+// Limit returns the current maximum entry count for the given subtable,
+// taking stealing into account.
+func (t *Table) Limit(way int, s addr.PageSize) int {
+	w := &t.ways[way]
+	switch {
+	case s == addr.Page1G:
+		if w.steal == noSteal {
+			return EntriesPerSubtable
+		}
+		// Region stolen: borrow from the free end of the other small-size
+		// subtable.
+		other := otherSmall(w.steal)
+		return EntriesPerSubtable - w.used[other]
+	case w.steal == s:
+		return StolenMax
+	case w.steal == noSteal && w.used[addr.Page1G] == 0:
+		// Could steal if needed.
+		return StolenMax
+	default:
+		// Our own region only; if 1GB entries are borrowed from our region,
+		// they shrink our headroom.
+		limit := EntriesPerSubtable
+		if w.steal != noSteal && w.steal != s {
+			limit -= w.used[addr.Page1G]
+		}
+		return limit
+	}
+}
+
+// Acquire claims one more entry for the given way and page size. It returns
+// false if the subtable is at its limit — the signal that the HPT way must
+// transition to the next larger chunk size instead of adding a chunk.
+func (t *Table) Acquire(way int, s addr.PageSize) bool {
+	w := &t.ways[way]
+	if !s.Valid() {
+		panic(fmt.Sprintf("l2p: invalid page size %d", int(s)))
+	}
+	switch {
+	case s == addr.Page1G:
+		if w.steal == noSteal {
+			if w.used[s] >= EntriesPerSubtable {
+				return false
+			}
+		} else {
+			other := otherSmall(w.steal)
+			if w.used[other]+w.used[s] >= EntriesPerSubtable {
+				return false
+			}
+		}
+	default: // 4KB or 2MB
+		switch {
+		case w.used[s] < EntriesPerSubtable:
+			// Fits in the native region — but if the 1GB subtable has
+			// borrowed slots from our region, respect them.
+			if w.steal != noSteal && w.steal != s &&
+				w.used[s]+w.used[addr.Page1G] >= EntriesPerSubtable {
+				return false
+			}
+		case w.steal == s:
+			if w.used[s] >= StolenMax {
+				return false
+			}
+		case w.steal == noSteal && w.used[addr.Page1G] == 0:
+			// Steal the 1GB region.
+			w.steal = s
+		default:
+			return false
+		}
+	}
+	w.used[s]++
+	if u := t.TotalUsed(); u > t.peak {
+		t.peak = u
+	}
+	return true
+}
+
+// Release returns n entries from the given way and page size, e.g. after a
+// chunk-size transition frees the old chunks. If the releasing subtable no
+// longer needs the stolen 1GB region it is returned.
+func (t *Table) Release(way int, s addr.PageSize, n int) {
+	w := &t.ways[way]
+	if n < 0 || w.used[s] < n {
+		panic(fmt.Sprintf("l2p: release %d from way %d size %v with %d used", n, way, s, w.used[s]))
+	}
+	w.used[s] -= n
+	if w.steal == s && w.used[s] <= EntriesPerSubtable {
+		w.steal = noSteal
+	}
+}
+
+// SaveRestoreEntries returns the number of entries a context switch must
+// save and restore: only the valid ones, which are clustered at the extremes
+// of each subtable (Section V-C).
+func (t *Table) SaveRestoreEntries() int { return t.TotalUsed() }
+
+func otherSmall(s addr.PageSize) addr.PageSize {
+	if s == addr.Page4K {
+		return addr.Page2M
+	}
+	return addr.Page4K
+}

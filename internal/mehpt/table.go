@@ -1,0 +1,503 @@
+// Package mehpt implements Memory-Efficient Hashed Page Tables — the
+// paper's contribution. An ME-HPT is a set of per-page-size W-way cuckoo
+// tables whose ways are backed by discontiguous chunks through the L2P
+// table, resize in place, and resize one way at a time with weighted-random
+// insertion.
+package mehpt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+	"repro/internal/chunk"
+	"repro/internal/cuckoo"
+	"repro/internal/hashfn"
+	"repro/internal/l2p"
+	"repro/internal/phys"
+	"repro/internal/pt"
+	"repro/internal/stats"
+)
+
+// ErrTableFull is returned when an insertion cannot be satisfied even after
+// forcing resizes (memory exhausted or ladder exhausted).
+var ErrTableFull = errors.New("mehpt: table full")
+
+// Config parameterizes an ME-HPT. The zero value is not usable; call
+// DefaultConfig.
+type Config struct {
+	Ways           int
+	InitialEntries uint64  // per-way slots at creation: 128 → 8KB ways
+	UpsizeAt       float64 // 0.6 (Table III)
+	DownsizeAt     float64 // 0.2 (Table III)
+	MaxKicks       int
+	RehashBatch    int // elements rehashed per resizing way per insert
+	HashSeed       uint64
+	Rand           *rand.Rand
+
+	// Feature toggles for the paper's ablations.
+	InPlace        bool     // Section IV-C; off = out-of-place (ECPT-style)
+	PerWay         bool     // Section IV-D; off = all-way resizing
+	WeightedInsert bool     // Section IV-D insertion policy
+	Ladder         []uint64 // chunk-size ladder; nil = chunk.Ladder
+
+	// OnWayChange, if set, is invoked whenever a key is placed into a way
+	// (fresh insert, cuckoo kick, or migration) — the notification the OS
+	// uses to maintain the cuckoo walk tables.
+	OnWayChange func(key uint64, size addr.PageSize, way int)
+}
+
+// DefaultConfig returns the paper's Table III configuration.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Ways:           3,
+		InitialEntries: 128,
+		UpsizeAt:       0.6,
+		DownsizeAt:     0.2,
+		MaxKicks:       32,
+		RehashBatch:    1,
+		HashSeed:       seed,
+		InPlace:        true,
+		PerWay:         true,
+		WeightedInsert: true,
+	}
+}
+
+// Stats aggregates the per-table behaviour the evaluation reports.
+type Stats struct {
+	Inserts, Lookups, Deletes uint64
+	Kicks                     uint64
+	UpsizesPerWay             []uint64 // Figure 11
+	Downsizes                 uint64
+	Transitions               uint64 // chunk-size switches (out-of-place)
+	FailedUpsizes             uint64
+	// Moved/Stayed count rehashed entries that did/did not change slots
+	// during in-place upsizes (Figure 13: fraction moved ≈ 0.5).
+	UpsizeMoved, UpsizeStayed uint64
+	MovesTotal                uint64 // all migration writes, any resize kind
+	Reinsertions              stats.Histogram
+	MaxContiguousAlloc        uint64 // largest chunk ever requested
+	AllocCycles               uint64
+	PeakFootprintBytes        uint64
+}
+
+// Table is one per-page-size ME-HPT. It is not safe for concurrent use.
+type Table struct {
+	cfg   Config
+	size  addr.PageSize
+	alloc *phys.Allocator
+	l2p   *l2p.Table
+	ways  []*way
+	slab  *pt.Slab
+	rng   *rand.Rand
+	stats Stats
+}
+
+// NewTable creates an ME-HPT for one page size. Every way starts at the
+// initial size (8KB) backed by one smallest-rung chunk.
+func NewTable(size addr.PageSize, alloc *phys.Allocator, tbl *l2p.Table, slab *pt.Slab, cfg Config) (*Table, error) {
+	if cfg.Ways < 2 {
+		panic("mehpt: need at least 2 ways")
+	}
+	if cfg.InitialEntries == 0 || cfg.InitialEntries&(cfg.InitialEntries-1) != 0 {
+		panic("mehpt: initial entries must be a power of two")
+	}
+	if cfg.Ways != tbl.Ways() {
+		panic("mehpt: config ways != l2p ways")
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(int64(cfg.HashSeed)*31 + int64(size)))
+	}
+	t := &Table{
+		cfg:   cfg,
+		size:  size,
+		alloc: alloc,
+		l2p:   tbl,
+		slab:  slab,
+		rng:   rng,
+	}
+	t.stats.UpsizesPerWay = make([]uint64, cfg.Ways)
+	fns := hashfn.Family(cfg.HashSeed+uint64(size)*0x1000, cfg.Ways)
+	for i := 0; i < cfg.Ways; i++ {
+		st, cycles, err := chunk.NewStoreLadder(alloc, tbl, i, size,
+			cfg.InitialEntries*pt.EntryBytes, t.ladder())
+		if err != nil {
+			return nil, fmt.Errorf("mehpt: initial way %d: %w", i, err)
+		}
+		t.noteAlloc(st.ChunkBytes(), cycles)
+		t.ways = append(t.ways, newWay(i, fns[i], cfg.InitialEntries, st))
+	}
+	t.notePeak()
+	return t, nil
+}
+
+func (t *Table) ladder() []uint64 {
+	if t.cfg.Ladder != nil {
+		return t.cfg.Ladder
+	}
+	return chunk.Ladder
+}
+
+func (t *Table) noteAlloc(chunkBytes, cycles uint64) {
+	if chunkBytes > t.stats.MaxContiguousAlloc {
+		t.stats.MaxContiguousAlloc = chunkBytes
+	}
+	t.stats.AllocCycles += cycles
+}
+
+func (t *Table) notePeak() {
+	if f := t.FootprintBytes(); f > t.stats.PeakFootprintBytes {
+		t.stats.PeakFootprintBytes = f
+	}
+}
+
+// FootprintBytes returns the physical page-table memory currently held.
+func (t *Table) FootprintBytes() uint64 {
+	var b uint64
+	for _, w := range t.ways {
+		b += w.footprint()
+	}
+	return b
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (t *Table) Stats() Stats {
+	s := t.stats
+	s.UpsizesPerWay = append([]uint64(nil), t.stats.UpsizesPerWay...)
+	s.Reinsertions = stats.Histogram{}
+	s.Reinsertions.Merge(&t.stats.Reinsertions)
+	return s
+}
+
+// WaySizes returns each way's current slot count (Figure 12 reports the
+// byte sizes: slots × EntryBytes).
+func (t *Table) WaySizes() []uint64 {
+	sizes := make([]uint64, len(t.ways))
+	for i, w := range t.ways {
+		sizes[i] = w.capacity()
+	}
+	return sizes
+}
+
+// WayChunkBytes returns each way's current chunk size.
+func (t *Table) WayChunkBytes() []uint64 {
+	cs := make([]uint64, len(t.ways))
+	for i, w := range t.ways {
+		cs[i] = w.store.ChunkBytes()
+	}
+	return cs
+}
+
+// Len returns the number of clustered entries stored.
+func (t *Table) Len() uint64 {
+	var n uint64
+	for _, w := range t.ways {
+		n += w.occ
+	}
+	return n
+}
+
+// PageSize returns the page size this table translates.
+func (t *Table) PageSize() addr.PageSize { return t.size }
+
+// Resizing reports whether any way has a resize in flight.
+func (t *Table) Resizing() bool {
+	for _, w := range t.ways {
+		if w.resizing {
+			return true
+		}
+	}
+	return false
+}
+
+// lookupSlot finds the way index and slot index holding key.
+func (t *Table) lookupSlot(key uint64) (int, uint64, bool) {
+	for i, w := range t.ways {
+		idx := w.locate(key)
+		if w.slots[idx].Key == key {
+			return i, idx, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Lookup returns the cluster id stored for key.
+func (t *Table) Lookup(key uint64) (uint64, bool) {
+	t.stats.Lookups++
+	if i, idx, ok := t.lookupSlot(key); ok {
+		return t.ways[i].slots[idx].Val, true
+	}
+	return 0, false
+}
+
+// Insert stores key→val, resizing as needed. It returns the cycle cost of
+// any physical allocations plus the number of cuckoo re-insertions.
+func (t *Table) Insert(key, val uint64) (kicks int, cycles uint64, err error) {
+	if i, idx, ok := t.lookupSlot(key); ok {
+		t.ways[i].slots[idx].Val = val
+		return 0, 0, nil
+	}
+	cycles += t.rehashTick()
+	kicks, err = t.place(cuckoo.Entry{Key: key, Val: val}, -1, 0, true)
+	if err != nil {
+		return kicks, cycles, err
+	}
+	t.stats.Inserts++
+	t.stats.Reinsertions.Add(kicks)
+	cycles += t.maybeResize()
+	t.notePeak()
+	return kicks, cycles, nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Table) Delete(key uint64) (uint64, bool) {
+	i, idx, ok := t.lookupSlot(key)
+	if !ok {
+		return 0, false
+	}
+	w := t.ways[i]
+	w.slots[idx].Key = cuckoo.EmptyKey
+	w.slots[idx].Val = 0
+	w.occ--
+	t.stats.Deletes++
+	cycles := t.maybeResize()
+	return cycles, true
+}
+
+// pickInsertWay implements Section IV-D's weighted random insertion: way i
+// is chosen with probability free_i / Σ free, and a way that is larger than
+// another way and already past the upsize threshold gets weight zero.
+func (t *Table) pickInsertWay(exclude int) int {
+	if !t.cfg.WeightedInsert {
+		return t.pickUniform(exclude)
+	}
+	var weights [8]uint64 // Ways is small (3); avoid allocation
+	var sum uint64
+	minSize := t.minWaySize()
+	for i, w := range t.ways {
+		if i == exclude {
+			continue
+		}
+		f := w.free()
+		if w.capacity() > minSize && w.occupancy() >= t.cfg.UpsizeAt {
+			f = 0
+		}
+		weights[i] = f
+		sum += f
+	}
+	if sum == 0 {
+		return t.pickUniform(exclude)
+	}
+	r := uint64(t.rng.Int63n(int64(sum)))
+	for i := range t.ways {
+		if i == exclude {
+			continue
+		}
+		if r < weights[i] {
+			return i
+		}
+		r -= weights[i]
+	}
+	return t.pickUniform(exclude) // unreachable
+}
+
+func (t *Table) pickUniform(exclude int) int {
+	if exclude < 0 {
+		return t.rng.Intn(len(t.ways))
+	}
+	i := t.rng.Intn(len(t.ways) - 1)
+	if i >= exclude {
+		i++
+	}
+	return i
+}
+
+func (t *Table) minWaySize() uint64 {
+	min := t.ways[0].capacity()
+	for _, w := range t.ways[1:] {
+		if c := w.capacity(); c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+func (t *Table) maxWaySize() uint64 {
+	max := t.ways[0].capacity()
+	for _, w := range t.ways[1:] {
+		if c := w.capacity(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// place inserts e, displacing occupants cuckoo-style. weighted selects the
+// weighted policy for the first placement; kicks always use uniform-other.
+func (t *Table) place(e cuckoo.Entry, exclude, depth int, weighted bool) (int, error) {
+	if depth > t.cfg.MaxKicks {
+		if err := t.breakChain(); err != nil {
+			return depth, err
+		}
+		return t.placeRetry(e, depth)
+	}
+	var i int
+	if weighted && depth == 0 {
+		i = t.pickInsertWay(exclude)
+	} else {
+		i = t.pickUniform(exclude)
+	}
+	w := t.ways[i]
+	idx := w.locate(e.Key)
+	if w.slots[idx].Key == cuckoo.EmptyKey {
+		w.slots[idx] = e
+		w.occ++
+		t.noteWay(e.Key, i)
+		return depth, nil
+	}
+	victim := w.slots[idx]
+	w.slots[idx] = e
+	t.noteWay(e.Key, i)
+	t.stats.Kicks++
+	// Way i's occupancy is unchanged: the victim left but e arrived. Only
+	// the chain's final empty-slot placement increments a way.
+	return t.place(victim, i, depth+1, false)
+}
+
+// noteWay publishes a placement to the OnWayChange hook.
+func (t *Table) noteWay(key uint64, way int) {
+	if t.cfg.OnWayChange != nil {
+		t.cfg.OnWayChange(key, t.size, way)
+	}
+}
+
+// breakChain makes progress when a displacement chain exceeds MaxKicks:
+// drain in-flight resizes; if none, force-upsize the smallest way.
+func (t *Table) breakChain() error {
+	if t.Resizing() {
+		t.drainResizes()
+		return nil
+	}
+	// Upsize the smallest way (always permitted by the balance rule).
+	smallest := 0
+	for i, w := range t.ways {
+		if w.capacity() < t.ways[smallest].capacity() {
+			smallest = i
+		}
+	}
+	_, err := t.upsizeWay(smallest)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrTableFull, err)
+	}
+	return nil
+}
+
+func (t *Table) placeRetry(e cuckoo.Entry, depth int) (int, error) {
+	for attempt := 0; attempt < 4; attempt++ {
+		kicks, err := t.place(e, -1, 0, false)
+		if err == nil {
+			return depth + kicks, nil
+		}
+		if err2 := t.breakChain(); err2 != nil {
+			return depth, err2
+		}
+	}
+	return depth, ErrTableFull
+}
+
+// rehashTick advances every in-flight resize by RehashBatch elements,
+// reusing the OS invocation the triggering insert provides (Section II-B).
+func (t *Table) rehashTick() uint64 {
+	var cycles uint64
+	for _, w := range t.ways {
+		if !w.resizing {
+			continue
+		}
+		moved := 0
+		// migrateOne can recurse into this table (a conflict placement may
+		// force-drain resizes), so re-check w.resizing at every step.
+		for w.resizing && moved < t.cfg.RehashBatch && w.ptr < w.size {
+			if t.migrateOne(w) {
+				moved++
+			}
+		}
+		if w.resizing && w.ptr >= w.size {
+			w.finishResize()
+			t.notePeak()
+		}
+	}
+	return cycles
+}
+
+// migrateOne rehashes the entry under w's rehash pointer. It returns true
+// if an element was processed (as opposed to skipping an empty slot).
+func (t *Table) migrateOne(w *way) bool {
+	p := w.ptr
+	w.ptr++
+	e := w.slots[p]
+	if e.Key == cuckoo.EmptyKey {
+		return false
+	}
+	h := w.fn.Hash(e.Key)
+	newIdx := h & (w.newSize - 1)
+	inPlace := w.pending == nil
+	if newIdx == p && inPlace {
+		// The extra hash bit is 0: the entry stays put (Figure 5b). This is
+		// the ~50% of entries in-place resizing does not move.
+		if w.up {
+			t.stats.UpsizeStayed++
+		}
+		t.stats.Reinsertions.Add(0)
+		return true
+	}
+	w.slots[p].Key = cuckoo.EmptyKey
+	w.slots[p].Val = 0
+	t.stats.MovesTotal++
+	if w.up {
+		t.stats.UpsizeMoved++
+	}
+	kicks := 0
+	if w.slots[newIdx].Key == cuckoo.EmptyKey {
+		w.slots[newIdx] = e
+	} else {
+		// Downsize collision (Figure 5f) or clash with an entry inserted
+		// during the resize: cuckoo the incoming entry into another way.
+		w.occ--
+		var err error
+		kicks, err = t.place(e, w.idx, 1, false)
+		if err != nil {
+			panic(fmt.Sprintf("mehpt: migration failed: %v", err))
+		}
+		t.stats.Kicks++
+		kicks++ // count the displacement out of this way
+	}
+	t.stats.Reinsertions.Add(kicks)
+	return true
+}
+
+// drainResizes completes all in-flight resizes synchronously.
+func (t *Table) drainResizes() {
+	for t.Resizing() {
+		t.rehashTick()
+	}
+}
+
+// DrainResizes completes any in-flight gradual resizes (process teardown,
+// test determinism).
+func (t *Table) DrainResizes() { t.drainResizes() }
+
+// Settle repeatedly drains resizes and re-evaluates the resizing policy
+// until the table reaches a fixed point. Gradual resizes normally advance
+// only on inserts, so after a burst of deletes several pending downsizes may
+// be queued behind one another; Settle applies them all.
+func (t *Table) Settle() {
+	for i := 0; i < 64; i++ {
+		t.drainResizes()
+		t.maybeResize()
+		if !t.Resizing() {
+			return
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package mmu composes the TLB hierarchy, the page-walk machinery (radix
+// page-walk caches or cuckoo walk caches), and the data-cache hierarchy
+// into the address-translation front end the simulator drives.
+//
+// Two MMU variants exist, one per page-table family:
+//
+//   - Radix: sequential tree walk, accelerated by three page-walk caches
+//     (PWCs) that skip upper levels (Table III: 3 × 32 entries, 4 cyc).
+//   - HPT (ECPT or ME-HPT): parallel cuckoo-way probes, pruned by the CWCs;
+//     the ME-HPT L2P access is overlapped with the CWC lookup (Section V-D)
+//     so both variants see the same walk-latency structure.
+package mmu
+
+import (
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/cwc"
+	"repro/internal/hashfn"
+	"repro/internal/pt"
+	"repro/internal/radix"
+	"repro/internal/tlb"
+)
+
+// Result is the outcome of one translation.
+type Result struct {
+	PA     addr.PhysAddr
+	Size   addr.PageSize
+	Cycles uint64
+	Fault  bool // no translation: the OS must handle a page fault
+}
+
+// Stats aggregates translation behaviour.
+type Stats struct {
+	Translations uint64
+	L1Hits       uint64
+	L2Hits       uint64
+	Walks        uint64
+	WalkCycles   uint64
+	Faults       uint64
+}
+
+// HPTPageTable is the interface both ecpt.PageTable and mehpt.PageTable
+// satisfy: the hashed-walk operations the MMU needs.
+type HPTPageTable interface {
+	Translate(va addr.VirtAddr) (pt.Translation, bool)
+	WayOf(va addr.VirtAddr, s addr.PageSize) (int, bool)
+	WayProbeAddr(va addr.VirtAddr, s addr.PageSize, way int) addr.PhysAddr
+}
+
+// HPT is the MMU for hashed page tables.
+type HPT struct {
+	TLB   *tlb.Hierarchy
+	Mem   *cache.Hierarchy
+	Table HPTPageTable
+	CWC   *cwc.Walker
+	stats Stats
+}
+
+// NewHPT wires an HPT MMU with Table III structures.
+func NewHPT(table HPTPageTable, mem *cache.Hierarchy) *HPT {
+	return &HPT{
+		TLB:   tlb.NewTableIII(),
+		Mem:   mem,
+		Table: table,
+		CWC:   cwc.New(),
+	}
+}
+
+// Stats returns translation counters.
+func (m *HPT) Stats() Stats { return m.stats }
+
+// Translate resolves va, modelling the full latency of TLB lookup and, on a
+// miss, the hashed page walk.
+func (m *HPT) Translate(va addr.VirtAddr) Result {
+	m.stats.Translations++
+	var cycles uint64
+	for _, s := range addr.Sizes() {
+		r, lat := m.TLB.Lookup(va, s)
+		switch r {
+		case tlb.HitL1:
+			m.stats.L1Hits++
+			tr, ok := m.Table.Translate(va)
+			if !ok || tr.Size != s {
+				break // stale TLB path cannot happen; fall through to walk
+			}
+			return Result{PA: addr.Translate(va, tr.PPN, s), Size: s, Cycles: lat}
+		case tlb.HitL2:
+			m.stats.L2Hits++
+			tr, ok := m.Table.Translate(va)
+			if !ok || tr.Size != s {
+				break
+			}
+			return Result{PA: addr.Translate(va, tr.PPN, s), Size: s, Cycles: lat}
+		}
+		if cycles < lat {
+			cycles = lat // per-size TLB lookups proceed in parallel
+		}
+	}
+	// TLB miss: hashed page walk. CRC hash units run in parallel with the
+	// CWC lookup (both fixed-latency); the ME-HPT L2P access hides behind
+	// the CWC as well (Section V-D), so the pre-probe latency is
+	// max(hash, CWC) = CWC.
+	m.stats.Walks++
+	walk := uint64(hashfn.Latency)
+	hit, cwtPA, cwcLat := m.CWC.Probe(va)
+	if cwcLat > walk {
+		walk = cwcLat
+	}
+	if !hit {
+		// The CWT is compact metadata (8B per 2MB region) that lives in the
+		// regular cache hierarchy and caches well, unlike page-table lines.
+		walk += m.Mem.Access(cwtPA)
+	}
+	tr, ok := m.Table.Translate(va)
+	if !ok {
+		// The CWT indicates no translation at any size: fault without
+		// probing the HPTs.
+		m.stats.Faults++
+		m.stats.WalkCycles += walk
+		return Result{Cycles: cycles + walk, Fault: true}
+	}
+	way, _ := m.Table.WayOf(va, tr.Size)
+	walk += m.Mem.AccessPT(m.Table.WayProbeAddr(va, tr.Size, way))
+	m.stats.WalkCycles += walk
+	m.TLB.Insert(va, tr.Size)
+	return Result{
+		PA:     addr.Translate(va, tr.PPN, tr.Size),
+		Size:   tr.Size,
+		Cycles: cycles + walk,
+	}
+}
+
+// Invalidate drops TLB and CWC state for va (unmap, page-size promotion).
+func (m *HPT) Invalidate(va addr.VirtAddr, s addr.PageSize) {
+	m.TLB.Invalidate(va, s)
+	m.CWC.Invalidate(va)
+}
+
+// pwc is one page-walk cache level: fully associative over VA prefixes.
+type pwc struct {
+	shift   uint
+	entries int
+	tags    []uint64
+}
+
+func (c *pwc) lookup(va addr.VirtAddr) bool {
+	tag := uint64(va) >> c.shift
+	for i, t := range c.tags {
+		if t == tag+1 {
+			copy(c.tags[1:i+1], c.tags[:i])
+			c.tags[0] = tag + 1
+			return true
+		}
+	}
+	return false
+}
+
+func (c *pwc) insert(va addr.VirtAddr) {
+	if c.lookup(va) {
+		return
+	}
+	if len(c.tags) < c.entries {
+		c.tags = append(c.tags, 0)
+	}
+	copy(c.tags[1:], c.tags)
+	c.tags[0] = uint64(va)>>c.shift + 1
+}
+
+// pwcLatency is the PWC round trip (Table III: 4 cycles).
+const pwcLatency = 4
+
+// Radix is the MMU for the radix-tree baseline.
+type Radix struct {
+	TLB   *tlb.Hierarchy
+	Mem   *cache.Hierarchy
+	Table *radix.PageTable
+	// pwcs[0] caches PMD entries (skip to PTE), [1] PUD entries (skip to
+	// PMD), [2] PGD entries (skip to PUD).
+	pwcs  [3]pwc
+	stats Stats
+}
+
+// NewRadix wires a radix MMU with Table III structures: 3 PWC levels of 32
+// entries each.
+func NewRadix(table *radix.PageTable, mem *cache.Hierarchy) *Radix {
+	m := &Radix{TLB: tlb.NewTableIII(), Mem: mem, Table: table}
+	m.pwcs[0] = pwc{shift: 21, entries: 32} // PMD entry: covers 2MB
+	m.pwcs[1] = pwc{shift: 30, entries: 32} // PUD entry: covers 1GB
+	m.pwcs[2] = pwc{shift: 39, entries: 32} // PGD entry: covers 512GB
+	return m
+}
+
+// Stats returns translation counters.
+func (m *Radix) Stats() Stats { return m.stats }
+
+// Translate resolves va through the TLBs and, on a miss, a sequential tree
+// walk whose upper levels the PWCs can skip.
+func (m *Radix) Translate(va addr.VirtAddr) Result {
+	m.stats.Translations++
+	var cycles uint64
+	for _, s := range addr.Sizes() {
+		r, lat := m.TLB.Lookup(va, s)
+		switch r {
+		case tlb.HitL1:
+			m.stats.L1Hits++
+			tr, ok := m.Table.Translate(va)
+			if ok && tr.Size == s {
+				return Result{PA: addr.Translate(va, tr.PPN, s), Size: s, Cycles: lat}
+			}
+		case tlb.HitL2:
+			m.stats.L2Hits++
+			tr, ok := m.Table.Translate(va)
+			if ok && tr.Size == s {
+				return Result{PA: addr.Translate(va, tr.PPN, s), Size: s, Cycles: lat}
+			}
+		}
+		if cycles < lat {
+			cycles = lat
+		}
+	}
+	m.stats.Walks++
+	pas, tr, ok := m.Table.WalkAddrs(va)
+	// The PWCs are probed in parallel: skip the deepest cached prefix.
+	skip := 0
+	switch {
+	case m.pwcs[0].lookup(va):
+		skip = 3 // PGD, PUD, PMD entries cached: only the PTE access remains
+	case m.pwcs[1].lookup(va):
+		skip = 2
+	case m.pwcs[2].lookup(va):
+		skip = 1
+	}
+	if skip > len(pas)-1 {
+		skip = len(pas) - 1 // always perform at least the final access
+	}
+	walk := uint64(pwcLatency)
+	for _, pa := range pas[skip:] {
+		walk += m.Mem.AccessPT(pa) // sequential: latencies add up
+	}
+	m.stats.WalkCycles += walk
+	if !ok {
+		m.stats.Faults++
+		return Result{Cycles: cycles + walk, Fault: true}
+	}
+	// Refill the PWCs with the prefixes this walk resolved.
+	if len(pas) >= 2 {
+		m.pwcs[2].insert(va)
+	}
+	if len(pas) >= 3 {
+		m.pwcs[1].insert(va)
+	}
+	if len(pas) >= 4 {
+		m.pwcs[0].insert(va)
+	}
+	m.TLB.Insert(va, tr.Size)
+	return Result{
+		PA:     addr.Translate(va, tr.PPN, tr.Size),
+		Size:   tr.Size,
+		Cycles: cycles + walk,
+	}
+}
+
+// Invalidate drops TLB state for va.
+func (m *Radix) Invalidate(va addr.VirtAddr, s addr.PageSize) {
+	m.TLB.Invalidate(va, s)
+}
+
+// MMU is the interface the simulator drives; both variants satisfy it.
+type MMU interface {
+	Translate(va addr.VirtAddr) Result
+	Invalidate(va addr.VirtAddr, s addr.PageSize)
+	Stats() Stats
+}

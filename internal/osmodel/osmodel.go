@@ -1,0 +1,148 @@
+// Package osmodel is the operating-system layer of the simulation: demand
+// paging, data-frame allocation, and the transparent-huge-page policy. It
+// is deliberately small — the paper's OS involvement is page-fault handling
+// and page-table maintenance, both of which it prices in cycles.
+package osmodel
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/phys"
+	"repro/internal/pt"
+)
+
+// PageTable is the mapping interface all three organizations provide.
+type PageTable interface {
+	Map(vpn addr.VPN, s addr.PageSize, ppn addr.PPN) (uint64, error)
+	Unmap(vpn addr.VPN, s addr.PageSize) (uint64, bool)
+	Translate(va addr.VirtAddr) (pt.Translation, bool)
+}
+
+// Config parameterizes the OS model.
+type Config struct {
+	// THP enables transparent huge pages: eligible 2MB regions are mapped
+	// with a single 2MB page on first touch.
+	THP bool
+	// THPFraction is the fraction of 2MB regions that are THP-eligible,
+	// a workload property (irregular allocators defeat THP; see Table I
+	// where graph applications see no page-table change under THP).
+	THPFraction float64
+	// FaultOverhead is the fixed kernel entry/exit + fault bookkeeping
+	// cost in cycles, charged per page fault.
+	FaultOverhead uint64
+}
+
+// DefaultConfig returns a reasonable OS cost model.
+func DefaultConfig() Config {
+	return Config{FaultOverhead: 1000}
+}
+
+// Stats aggregates OS activity.
+type Stats struct {
+	Faults          uint64
+	HugeFaults      uint64
+	FaultCycles     uint64 // total cycles spent in fault handling
+	DataAllocCycles uint64
+	PTCycles        uint64 // page-table maintenance cycles (allocs, moves)
+}
+
+// OS models one process's kernel interaction.
+type OS struct {
+	cfg   Config
+	pt    PageTable
+	alloc *phys.Allocator
+	stats Stats
+}
+
+// New creates the OS layer for one process.
+func New(cfg Config, table PageTable, alloc *phys.Allocator) *OS {
+	return &OS{cfg: cfg, pt: table, alloc: alloc}
+}
+
+// Stats returns OS counters.
+func (o *OS) Stats() Stats { return o.stats }
+
+// hugeEligible deterministically decides whether the 2MB region containing
+// va is THP-eligible, using a hash so eligibility is stable per region and
+// the configured fraction holds in aggregate.
+func (o *OS) hugeEligible(region uint64) bool {
+	if !o.cfg.THP || o.cfg.THPFraction <= 0 {
+		return false
+	}
+	if o.cfg.THPFraction >= 1 {
+		return true
+	}
+	h := region * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return float64(h%1024)/1024 < o.cfg.THPFraction
+}
+
+// HandleFault services a page fault at va: it allocates a data frame (2MB
+// when the region is THP-eligible, 4KB otherwise), installs the mapping,
+// and returns the total fault cost in cycles.
+func (o *OS) HandleFault(va addr.VirtAddr) (uint64, error) {
+	o.stats.Faults++
+	cycles := o.cfg.FaultOverhead
+
+	if o.hugeEligible(uint64(va) >> addr.Page2M.Shift()) {
+		c, err := o.mapPage(va, addr.Page2M)
+		cycles += c
+		if err == nil {
+			o.stats.HugeFaults++
+			o.stats.FaultCycles += cycles
+			return cycles, nil
+		}
+		// Huge allocation failed (fragmentation): fall back to a base page,
+		// as Linux THP does.
+	}
+	c, err := o.mapPage(va, addr.Page4K)
+	cycles += c
+	o.stats.FaultCycles += cycles
+	if err != nil {
+		return cycles, fmt.Errorf("osmodel: fault at %#x: %w", uint64(va), err)
+	}
+	return cycles, nil
+}
+
+func (o *OS) mapPage(va addr.VirtAddr, s addr.PageSize) (uint64, error) {
+	frame, allocCycles, err := o.alloc.Alloc(s.Bytes())
+	o.stats.DataAllocCycles += allocCycles
+	cycles := allocCycles
+	if err != nil {
+		return cycles, err
+	}
+	// The buddy allocator hands out 4KB-frame numbers; convert to a frame
+	// number at the mapping's page size.
+	ppn := frame.Addr(addr.Page4K).PageNumber(s)
+	ptCycles, err := o.pt.Map(va.PageNumber(s), s, ppn)
+	o.stats.PTCycles += ptCycles
+	cycles += ptCycles
+	if err != nil {
+		o.alloc.Free(frame, s.Bytes())
+		return cycles, fmt.Errorf("osmodel: page-table map failed: %w", err)
+	}
+	return cycles, nil
+}
+
+// Prefault maps every page backing the region [va, va+bytes) eagerly,
+// charging the same costs as demand faults. Experiment drivers use it to
+// populate page tables at full scale without running a timing simulation.
+func (o *OS) Prefault(va addr.VirtAddr, bytes uint64) (uint64, error) {
+	var total uint64
+	end := va + addr.VirtAddr(bytes)
+	for cur := va; cur < end; {
+		if tr, ok := o.pt.Translate(cur); ok {
+			cur = addr.AlignDown(cur, tr.Size.Bytes()) + addr.VirtAddr(tr.Size.Bytes())
+			continue
+		}
+		c, err := o.HandleFault(cur)
+		total += c
+		if err != nil {
+			return total, err
+		}
+		tr, _ := o.pt.Translate(cur)
+		cur = addr.AlignDown(cur, tr.Size.Bytes()) + addr.VirtAddr(tr.Size.Bytes())
+	}
+	return total, nil
+}

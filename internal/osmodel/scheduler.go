@@ -1,0 +1,151 @@
+package osmodel
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/tlb"
+)
+
+// Section V-C models the per-process state the OS must swap on a context
+// switch. For ME-HPT that includes the process's L2P table: the MMU holds
+// only the running process's table, and the OS saves/restores the valid
+// entries — which are clustered at the extremes of each subtable, so only
+// the used ones move.
+
+// L2PCarrier is implemented by page tables with MMU-resident L2P state
+// (mehpt.PageTable); other organizations carry none.
+type L2PCarrier interface {
+	// L2PSaveRestoreEntries returns the number of valid L2P entries a
+	// context switch must save and restore.
+	L2PSaveRestoreEntries() int
+}
+
+// SwitchCosts parameterizes the context-switch cost model.
+type SwitchCosts struct {
+	// Base covers the organization-independent switch work: register state,
+	// kernel scheduling, CR3 write (a few microseconds in real systems; we
+	// charge only the MMU-relevant fixed part).
+	Base uint64
+	// PerL2PEntry is the cost of saving plus restoring one 33-bit L2P
+	// entry.
+	PerL2PEntry uint64
+	// FlushTLBs: without ASIDs the TLBs are flushed on switch, refilled by
+	// subsequent walks.
+	FlushTLBs bool
+}
+
+// DefaultSwitchCosts returns a cost model consistent with Section V-C's
+// "modest overhead" claim: 53 average entries × 4 cycles ≈ 200 cycles on
+// top of the base switch cost.
+func DefaultSwitchCosts() SwitchCosts {
+	return SwitchCosts{Base: 1000, PerL2PEntry: 4, FlushTLBs: true}
+}
+
+// Proc is one schedulable process: its page table and, optionally, the TLB
+// hierarchy state that would be flushed on switch.
+type Proc struct {
+	ID   int
+	PT   PageTable
+	TLBs *tlb.Hierarchy // may be nil (population-only experiments)
+}
+
+// Scheduler switches a single simulated hart between processes, charging
+// the ME-HPT L2P save/restore costs the paper analyzes in Section V-C.
+type Scheduler struct {
+	costs SwitchCosts
+	procs []*Proc
+	cur   int
+
+	stats SchedulerStats
+}
+
+// SchedulerStats aggregates switch activity.
+type SchedulerStats struct {
+	Switches       uint64
+	SwitchCycles   uint64
+	L2PEntriesSum  uint64 // total entries saved+restored, for averaging
+	L2PCyclesTotal uint64
+}
+
+// NewScheduler creates a scheduler over the given processes; procs[0] runs
+// first.
+func NewScheduler(costs SwitchCosts, procs ...*Proc) *Scheduler {
+	if len(procs) == 0 {
+		panic("osmodel: scheduler needs at least one process")
+	}
+	return &Scheduler{costs: costs, procs: procs}
+}
+
+// Current returns the running process.
+func (s *Scheduler) Current() *Proc { return s.procs[s.cur] }
+
+// Stats returns switch counters.
+func (s *Scheduler) Stats() SchedulerStats { return s.stats }
+
+// Switch makes process idx the running one and returns the switch cost in
+// cycles. Switching to the current process is free (no-op).
+func (s *Scheduler) Switch(idx int) (uint64, error) {
+	if idx < 0 || idx >= len(s.procs) {
+		return 0, fmt.Errorf("osmodel: no process %d", idx)
+	}
+	if idx == s.cur {
+		return 0, nil
+	}
+	out, in := s.procs[s.cur], s.procs[idx]
+	cycles := s.costs.Base
+
+	// Save the outgoing process's L2P entries and restore the incoming
+	// one's (Section V-C): both transfers touch only valid entries.
+	entries := 0
+	if c, ok := out.PT.(L2PCarrier); ok {
+		entries += c.L2PSaveRestoreEntries()
+	}
+	if c, ok := in.PT.(L2PCarrier); ok {
+		entries += c.L2PSaveRestoreEntries()
+	}
+	l2pCycles := uint64(entries) * s.costs.PerL2PEntry
+	cycles += l2pCycles
+	s.stats.L2PEntriesSum += uint64(entries)
+	s.stats.L2PCyclesTotal += l2pCycles
+
+	if s.costs.FlushTLBs && out.TLBs != nil {
+		flushAll(out.TLBs)
+	}
+
+	s.cur = idx
+	s.stats.Switches++
+	s.stats.SwitchCycles += cycles
+	return cycles, nil
+}
+
+// RoundRobin performs n switches cycling through all processes and returns
+// the total cycles spent switching.
+func (s *Scheduler) RoundRobin(n int) uint64 {
+	var total uint64
+	for i := 0; i < n; i++ {
+		next := (s.cur + 1) % len(s.procs)
+		c, _ := s.Switch(next)
+		total += c
+	}
+	return total
+}
+
+// AvgL2PEntries returns the average L2P entries transferred per switch —
+// the paper reports ~53 used entries per application (Figure 14), making
+// the transfer a few hundred cycles.
+func (s *Scheduler) AvgL2PEntries() float64 {
+	if s.stats.Switches == 0 {
+		return 0
+	}
+	return float64(s.stats.L2PEntriesSum) / float64(s.stats.Switches)
+}
+
+func flushAll(h *tlb.Hierarchy) {
+	for _, sz := range tlbSizes() {
+		h.L1(sz).Flush()
+		h.L2(sz).Flush()
+	}
+}
+
+func tlbSizes() []addr.PageSize { return addr.Sizes() }

@@ -1,0 +1,131 @@
+package osmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/mehpt"
+	"repro/internal/phys"
+	"repro/internal/radix"
+	"repro/internal/tlb"
+)
+
+func newProc(t *testing.T, id int, pages int) (*Proc, *mehpt.PageTable) {
+	t.Helper()
+	mem := phys.NewMemory(1 * addr.GB)
+	alloc := phys.NewAllocator(mem, 0)
+	cfg := mehpt.DefaultConfig(uint64(id))
+	cfg.Rand = rand.New(rand.NewSource(int64(id)))
+	pt, err := mehpt.NewPageTable(alloc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pages; i++ {
+		pt.Map(addr.VPN(i*8), addr.Page4K, addr.PPN(i)) // distinct clusters
+	}
+	return &Proc{ID: id, PT: pt, TLBs: tlb.NewTableIII()}, pt
+}
+
+func TestSwitchChargesL2PEntries(t *testing.T) {
+	pa, pta := newProc(t, 1, 10_000)
+	pb, ptb := newProc(t, 2, 100)
+	s := NewScheduler(DefaultSwitchCosts(), pa, pb)
+	cycles, err := s.Switch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEntries := pta.L2PSaveRestoreEntries() + ptb.L2PSaveRestoreEntries()
+	want := DefaultSwitchCosts().Base + uint64(wantEntries)*DefaultSwitchCosts().PerL2PEntry
+	if cycles != want {
+		t.Errorf("switch cycles = %d, want %d (%d L2P entries)", cycles, want, wantEntries)
+	}
+	if s.Current() != pb {
+		t.Error("current process not switched")
+	}
+}
+
+func TestSwitchToSelfIsFree(t *testing.T) {
+	pa, _ := newProc(t, 1, 100)
+	pb, _ := newProc(t, 2, 100)
+	s := NewScheduler(DefaultSwitchCosts(), pa, pb)
+	if c, _ := s.Switch(0); c != 0 {
+		t.Errorf("self-switch cost = %d", c)
+	}
+	if s.Stats().Switches != 0 {
+		t.Error("self-switch counted")
+	}
+}
+
+func TestSwitchFlushesTLBs(t *testing.T) {
+	pa, _ := newProc(t, 1, 100)
+	pb, _ := newProc(t, 2, 100)
+	va := addr.VirtAddr(0x1000)
+	pa.TLBs.Insert(va, addr.Page4K)
+	s := NewScheduler(DefaultSwitchCosts(), pa, pb)
+	s.Switch(1)
+	if r, _ := pa.TLBs.Lookup(va, addr.Page4K); r != tlb.MissAll {
+		t.Error("outgoing process's TLBs not flushed")
+	}
+}
+
+func TestNoFlushWhenDisabled(t *testing.T) {
+	pa, _ := newProc(t, 1, 100)
+	pb, _ := newProc(t, 2, 100)
+	va := addr.VirtAddr(0x1000)
+	pa.TLBs.Insert(va, addr.Page4K)
+	costs := DefaultSwitchCosts()
+	costs.FlushTLBs = false // ASID-tagged TLBs
+	s := NewScheduler(costs, pa, pb)
+	s.Switch(1)
+	if r, _ := pa.TLBs.Lookup(va, addr.Page4K); r == tlb.MissAll {
+		t.Error("TLBs flushed despite ASIDs")
+	}
+}
+
+// TestRadixCarriesNoL2P: non-HPT page tables have no MMU table state, so a
+// radix pair switches at the base cost.
+func TestRadixCarriesNoL2P(t *testing.T) {
+	mem := phys.NewMemory(256 * addr.MB)
+	alloc := phys.NewAllocator(mem, 0)
+	rp1, _ := radix.NewPageTable(alloc)
+	rp2, _ := radix.NewPageTable(alloc)
+	s := NewScheduler(DefaultSwitchCosts(),
+		&Proc{ID: 1, PT: &radixMapper{rp1}},
+		&Proc{ID: 2, PT: &radixMapper{rp2}})
+	cycles, _ := s.Switch(1)
+	if cycles != DefaultSwitchCosts().Base {
+		t.Errorf("radix switch = %d, want base %d", cycles, DefaultSwitchCosts().Base)
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	pa, _ := newProc(t, 1, 1000)
+	pb, _ := newProc(t, 2, 1000)
+	pc, _ := newProc(t, 3, 1000)
+	s := NewScheduler(DefaultSwitchCosts(), pa, pb, pc)
+	total := s.RoundRobin(30)
+	st := s.Stats()
+	if st.Switches != 30 {
+		t.Errorf("switches = %d", st.Switches)
+	}
+	if total != st.SwitchCycles {
+		t.Errorf("RoundRobin total %d != stats %d", total, st.SwitchCycles)
+	}
+	if s.AvgL2PEntries() <= 0 {
+		t.Error("no L2P entries transferred")
+	}
+	// Section V-C: the L2P component is a small share of the switch.
+	if st.L2PCyclesTotal*2 > st.SwitchCycles {
+		t.Errorf("L2P transfer (%d cyc) dominates switching (%d cyc); paper says modest",
+			st.L2PCyclesTotal, st.SwitchCycles)
+	}
+}
+
+func TestSwitchErrors(t *testing.T) {
+	pa, _ := newProc(t, 1, 10)
+	s := NewScheduler(DefaultSwitchCosts(), pa)
+	if _, err := s.Switch(5); err == nil {
+		t.Error("switch to missing process succeeded")
+	}
+}

@@ -1,0 +1,267 @@
+// Package phys models the physical memory substrate: a buddy allocator over
+// 4KB frames, the FMFI fragmentation metric, a controllable fragmenter, and
+// the allocation cycle-cost model the paper measured on a real fragmented
+// server (Section III).
+//
+// The package is an accounting model: it tracks which frames are allocated
+// and what each allocation costs in cycles, but does not back real storage.
+// Page-table contents live in the page-table packages; workload data is
+// synthetic.
+package phys
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/addr"
+)
+
+// FrameBytes is the size of a base physical frame (one 4KB page).
+const FrameBytes = 4 * addr.KB
+
+// MaxOrder is the largest buddy order supported: order 18 blocks are
+// 4KB<<18 = 1GB, enough for 1GB huge pages.
+const MaxOrder = 18
+
+// ErrOutOfMemory is returned when no free block of the requested order
+// exists. Under high fragmentation this is exactly the failure mode the
+// paper reports for 64MB ECPT way allocations (Section III: ">0.7 FMFI, the
+// system is unable to allocate 64MB and returns an error").
+var ErrOutOfMemory = errors.New("phys: cannot allocate contiguous block")
+
+const noBlock = int8(-1)
+
+// Memory is a buddy allocator over a physically-contiguous frame range.
+// It is not safe for concurrent use; the simulator is single-threaded per
+// simulated machine.
+type Memory struct {
+	frames    uint64               // total number of 4KB frames
+	maxOrder  int                  // largest order usable given capacity
+	headOrder []int8               // headOrder[f] = order if f heads a free block, else -1
+	freeList  [][]uint64           // per-order stacks of (possibly stale) free heads
+	freeBlk   [MaxOrder + 1]uint64 // live free-block count per order
+	freePages uint64               // total free 4KB frames
+
+	stats Stats
+}
+
+// Stats aggregates the allocation activity the experiments report.
+type Stats struct {
+	Allocs        uint64 // successful allocations
+	Frees         uint64
+	FailedAllocs  uint64
+	MaxContiguous uint64 // largest single allocation ever granted, in bytes
+	AllocCycles   uint64 // total cycles charged by the cost model (if attached)
+	AllocsBySize  map[uint64]uint64
+}
+
+// NewMemory returns an allocator over capacityBytes of physical memory.
+// capacityBytes is rounded down to a multiple of the frame size and must be
+// at least one frame.
+func NewMemory(capacityBytes uint64) *Memory {
+	frames := capacityBytes / FrameBytes
+	if frames == 0 {
+		panic("phys: capacity smaller than one frame")
+	}
+	m := &Memory{
+		frames:    frames,
+		headOrder: make([]int8, frames),
+		freeList:  make([][]uint64, MaxOrder+1),
+	}
+	m.maxOrder = MaxOrder
+	if hi := bits.Len64(frames) - 1; hi < m.maxOrder {
+		m.maxOrder = hi
+	}
+	for i := range m.headOrder {
+		m.headOrder[i] = noBlock
+	}
+	m.stats.AllocsBySize = make(map[uint64]uint64)
+	// Seed the free lists with maximal aligned blocks covering the range.
+	f := uint64(0)
+	for f < frames {
+		o := m.maxOrder
+		for o > 0 && (f&((1<<o)-1) != 0 || f+(1<<o) > frames) {
+			o--
+		}
+		m.addFree(f, o)
+		f += 1 << o
+	}
+	return m
+}
+
+// TotalBytes returns the capacity in bytes.
+func (m *Memory) TotalBytes() uint64 { return m.frames * FrameBytes }
+
+// FreeBytes returns the number of free bytes.
+func (m *Memory) FreeBytes() uint64 { return m.freePages * FrameBytes }
+
+// ResetStats clears the accumulated statistics. Experiments call it after
+// pre-fragmenting memory so that the fragmenter's own blocker allocations do
+// not pollute the page tables' contiguity measurements.
+func (m *Memory) ResetStats() {
+	m.stats = Stats{AllocsBySize: make(map[uint64]uint64)}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Memory) Stats() Stats {
+	s := m.stats
+	s.AllocsBySize = make(map[uint64]uint64, len(m.stats.AllocsBySize))
+	for k, v := range m.stats.AllocsBySize {
+		s.AllocsBySize[k] = v
+	}
+	return s
+}
+
+// OrderFor returns the buddy order needed for an allocation of the given
+// byte size: the smallest order whose block covers size.
+func OrderFor(size uint64) int {
+	if size <= FrameBytes {
+		return 0
+	}
+	frames := (size + FrameBytes - 1) / FrameBytes
+	o := bits.Len64(frames - 1)
+	return o
+}
+
+// BlockBytes returns the byte size of a block of the given order.
+func BlockBytes(order int) uint64 { return FrameBytes << order }
+
+func (m *Memory) addFree(f uint64, order int) {
+	m.headOrder[f] = int8(order)
+	m.freeList[order] = append(m.freeList[order], f)
+	m.freeBlk[order]++
+	m.freePages += 1 << order
+}
+
+// popFree removes and returns a live free head of exactly the given order,
+// skipping stale stack entries. It returns false if none exists.
+func (m *Memory) popFree(order int) (uint64, bool) {
+	list := m.freeList[order]
+	for len(list) > 0 {
+		f := list[len(list)-1]
+		list = list[:len(list)-1]
+		if m.headOrder[f] == int8(order) {
+			m.freeList[order] = list
+			m.headOrder[f] = noBlock
+			m.freeBlk[order]--
+			m.freePages -= 1 << order
+			return f, true
+		}
+	}
+	m.freeList[order] = list
+	return 0, false
+}
+
+// Alloc allocates a contiguous block of at least size bytes, rounded up to
+// the next power-of-two order. It returns the first frame number of the
+// block. The returned frame is aligned to the block size.
+func (m *Memory) Alloc(size uint64) (addr.PPN, error) {
+	return m.AllocOrder(OrderFor(size))
+}
+
+// AllocOrder allocates one block of exactly the given order.
+func (m *Memory) AllocOrder(order int) (addr.PPN, error) {
+	if order > m.maxOrder {
+		m.stats.FailedAllocs++
+		return 0, fmt.Errorf("%w: order %d exceeds max %d", ErrOutOfMemory, order, m.maxOrder)
+	}
+	o := order
+	var f uint64
+	found := false
+	for ; o <= m.maxOrder; o++ {
+		if m.freeBlk[o] == 0 {
+			continue
+		}
+		if g, ok := m.popFree(o); ok {
+			f, found = g, true
+			break
+		}
+	}
+	if !found {
+		m.stats.FailedAllocs++
+		return 0, fmt.Errorf("%w: no free block of order %d (%s)",
+			ErrOutOfMemory, order, humanOrder(order))
+	}
+	// Split down to the requested order, returning upper halves to the
+	// free lists.
+	for o > order {
+		o--
+		m.addFree(f+(1<<o), o)
+	}
+	m.stats.Allocs++
+	m.stats.AllocsBySize[BlockBytes(order)]++
+	if b := BlockBytes(order); b > m.stats.MaxContiguous {
+		m.stats.MaxContiguous = b
+	}
+	return addr.PPN(f), nil
+}
+
+// Free returns the block of the given order starting at frame f to the
+// allocator, coalescing with free buddies.
+func (m *Memory) Free(f addr.PPN, order int) {
+	fr := uint64(f)
+	if fr&((1<<order)-1) != 0 || fr+(1<<order) > m.frames {
+		panic(fmt.Sprintf("phys: Free(%d, order %d): misaligned or out of range", fr, order))
+	}
+	if m.headOrder[fr] != noBlock {
+		panic(fmt.Sprintf("phys: double free of frame %d", fr))
+	}
+	for order < m.maxOrder {
+		buddy := fr ^ (1 << order)
+		if buddy+(1<<order) > m.frames || m.headOrder[buddy] != int8(order) {
+			break
+		}
+		// Detach the buddy (its free-list entry becomes stale).
+		m.headOrder[buddy] = noBlock
+		m.freeBlk[order]--
+		m.freePages -= 1 << order
+		if buddy < fr {
+			fr = buddy
+		}
+		order++
+	}
+	m.addFree(fr, order)
+	m.stats.Frees++
+}
+
+// FreeBytesInBlocksGE returns the number of free bytes residing in free
+// blocks of at least the given order.
+func (m *Memory) FreeBytesInBlocksGE(order int) uint64 {
+	var pages uint64
+	for o := order; o <= m.maxOrder; o++ {
+		pages += m.freeBlk[o] << o
+	}
+	return pages * FrameBytes
+}
+
+// FMFI returns the Free Memory Fragmentation Index for the given order: the
+// fraction of free memory that is unusable for an allocation of that order
+// because it sits in smaller blocks. 0 means perfectly defragmented; 1 means
+// no block of the order exists. This is the metric from Gorman et al. used
+// by the paper ("0.7 in the FMFI metric").
+func (m *Memory) FMFI(order int) float64 {
+	if m.freePages == 0 {
+		return 1
+	}
+	usable := float64(m.FreeBytesInBlocksGE(order))
+	total := float64(m.FreeBytes())
+	return 1 - usable/total
+}
+
+// CanAlloc reports whether a block of the given order is currently available.
+func (m *Memory) CanAlloc(order int) bool {
+	for o := order; o <= m.maxOrder; o++ {
+		if m.freeBlk[o] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// chargeAlloc is used by AllocCosted to fold cost-model cycles into stats.
+func (m *Memory) chargeAlloc(cycles uint64) { m.stats.AllocCycles += cycles }
+
+func humanOrder(order int) string {
+	return fmt.Sprintf("%dKB", (FrameBytes<<order)/1024)
+}

@@ -1,0 +1,121 @@
+package phys
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// checkerboard allocates every other 8KB block so nothing above order 1 is
+// free, registering the blockers as movable.
+func checkerboard(t *testing.T, mem *Memory) *Movable {
+	t.Helper()
+	mv := NewMovable(nil)
+	var blocks []addr.PPN
+	for {
+		p, err := mem.AllocOrder(1)
+		if err != nil {
+			break
+		}
+		blocks = append(blocks, p)
+	}
+	for i, p := range blocks {
+		if i%2 == 0 {
+			mem.Free(p, 1)
+		} else {
+			mv.Add(p, 1)
+		}
+	}
+	return mv
+}
+
+func TestCompactCreatesLargeBlock(t *testing.T) {
+	mem := NewMemory(16 * addr.MB)
+	mv := checkerboard(t, mem)
+	target := OrderFor(1 * addr.MB)
+	if mem.CanAlloc(target) {
+		t.Fatal("checkerboard already has a 1MB block")
+	}
+	cycles, ok := mem.Compact(mv, target)
+	if !ok {
+		t.Fatalf("compaction failed to produce a 1MB block (%d cycles spent)", cycles)
+	}
+	if cycles == 0 {
+		t.Error("compaction reported zero cost despite migrations")
+	}
+	if _, err := mem.Alloc(1 * addr.MB); err != nil {
+		t.Errorf("1MB allocation still fails after compaction: %v", err)
+	}
+}
+
+func TestCompactNoopWhenTargetAvailable(t *testing.T) {
+	mem := NewMemory(16 * addr.MB)
+	mv := NewMovable(nil)
+	cycles, ok := mem.Compact(mv, OrderFor(1*addr.MB))
+	if !ok || cycles != 0 {
+		t.Errorf("no-op compaction: ok=%v cycles=%d", ok, cycles)
+	}
+}
+
+func TestCompactReportsFailureWithoutMovables(t *testing.T) {
+	mem := NewMemory(8 * addr.MB)
+	// Pin (non-movable) every other block: compaction has nothing to move.
+	var blocks []addr.PPN
+	for {
+		p, err := mem.AllocOrder(1)
+		if err != nil {
+			break
+		}
+		blocks = append(blocks, p)
+	}
+	for i, p := range blocks {
+		if i%2 == 0 {
+			mem.Free(p, 1)
+		}
+	}
+	mv := NewMovable(nil)
+	_, ok := mem.Compact(mv, OrderFor(1*addr.MB))
+	if ok {
+		t.Error("compaction claimed success with only pinned memory")
+	}
+}
+
+func TestCompactRelocateCallback(t *testing.T) {
+	mem := NewMemory(8 * addr.MB)
+	moves := map[addr.PPN]addr.PPN{}
+	mv := NewMovable(func(old, new addr.PPN, order int) { moves[old] = new })
+	// Recreate a small checkerboard with callback-carrying registry.
+	var blocks []addr.PPN
+	for {
+		p, err := mem.AllocOrder(1)
+		if err != nil {
+			break
+		}
+		blocks = append(blocks, p)
+	}
+	for i, p := range blocks {
+		if i%2 == 0 {
+			mem.Free(p, 1)
+		} else {
+			mv.Add(p, 1)
+		}
+	}
+	if _, ok := mem.Compact(mv, OrderFor(512*addr.KB)); !ok {
+		t.Fatal("compaction failed")
+	}
+	if len(moves) == 0 {
+		t.Fatal("no relocations reported")
+	}
+	for old, new := range moves {
+		if new >= old {
+			t.Errorf("block moved upward: %d -> %d", old, new)
+		}
+	}
+	// Accounting must still balance.
+	var live uint64
+	live = uint64(mv.Len()) * 2 * 4096
+	if mem.FreeBytes()+live != mem.TotalBytes() {
+		t.Errorf("accounting broken after compaction: free %d + live %d != %d",
+			mem.FreeBytes(), live, mem.TotalBytes())
+	}
+}

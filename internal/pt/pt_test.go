@@ -1,0 +1,92 @@
+package pt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func TestClusterKeySubIndex(t *testing.T) {
+	f := func(v uint32) bool {
+		vpn := addr.VPN(v)
+		key := ClusterKey(vpn)
+		sub := SubIndex(vpn)
+		if sub >= ClusterSpan {
+			return false
+		}
+		return uint64(BaseVPN(key))+uint64(sub) == uint64(vpn)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusterSetGetClear(t *testing.T) {
+	var c Cluster
+	if !c.Empty() {
+		t.Fatal("zero cluster not empty")
+	}
+	c.Set(3, 1000)
+	c.Set(7, 2000)
+	if c.Count() != 2 {
+		t.Errorf("Count = %d, want 2", c.Count())
+	}
+	if p, ok := c.Get(3); !ok || p != 1000 {
+		t.Errorf("Get(3) = %d,%v", p, ok)
+	}
+	if _, ok := c.Get(0); ok {
+		t.Error("Get(0) valid on unset slot")
+	}
+	if c.Clear(3) {
+		t.Error("Clear(3) reported empty with slot 7 still valid")
+	}
+	if !c.Clear(7) {
+		t.Error("Clear(7) did not report empty")
+	}
+	if !c.Empty() || c.Count() != 0 {
+		t.Error("cluster not empty after clearing all")
+	}
+}
+
+func TestSlabReuse(t *testing.T) {
+	var s Slab
+	a := s.Alloc()
+	b := s.Alloc()
+	if a == b {
+		t.Fatal("Alloc returned duplicate ids")
+	}
+	s.At(a).Set(0, 42)
+	s.Free(a)
+	if s.Live() != 1 {
+		t.Errorf("Live = %d, want 1", s.Live())
+	}
+	c := s.Alloc() // must recycle a, zeroed
+	if c != a {
+		t.Errorf("expected recycled id %d, got %d", a, c)
+	}
+	if !s.At(c).Empty() {
+		t.Error("recycled cluster not zeroed")
+	}
+	if s.At(b) == nil {
+		t.Error("unrelated cluster lost")
+	}
+}
+
+func TestSlabPanicsOnBadID(t *testing.T) {
+	var s Slab
+	defer func() {
+		if recover() == nil {
+			t.Error("At on bad id did not panic")
+		}
+	}()
+	s.At(5)
+}
+
+func TestEntryGeometry(t *testing.T) {
+	// One clustered entry is a cache line covering 8 base pages = 32KB of
+	// virtual address space.
+	if EntryBytes != 64 || ClusterSpan != 8 {
+		t.Fatalf("entry geometry changed: %d bytes, span %d", EntryBytes, ClusterSpan)
+	}
+}

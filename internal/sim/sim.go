@@ -1,0 +1,362 @@
+// Package sim is the trace-driven simulation engine: it wires a workload,
+// an OS model, an MMU variant, a page-table organization, and the physical
+// memory substrate into one simulated machine, runs an access trace, and
+// accounts cycles the way the paper's evaluation does.
+//
+// The cycle model is in-order: each memory reference costs its translation
+// latency (TLB hit or page walk) plus its data-access latency through the
+// cache hierarchy; page faults additionally cost the OS fault path,
+// including the contiguous-allocation cycle costs at the configured memory
+// fragmentation. Absolute cycle counts are not meaningful — only the
+// relative comparison between page-table organizations is (Figure 9).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/ecpt"
+	"repro/internal/mehpt"
+	"repro/internal/mmu"
+	"repro/internal/osmodel"
+	"repro/internal/phys"
+	"repro/internal/pt"
+	"repro/internal/radix"
+	"repro/internal/workload"
+)
+
+// Org selects the page-table organization.
+type Org int
+
+// Page-table organizations under comparison.
+const (
+	Radix Org = iota
+	ECPT
+	MEHPT
+)
+
+// String implements fmt.Stringer.
+func (o Org) String() string {
+	switch o {
+	case Radix:
+		return "Radix"
+	case ECPT:
+		return "ECPT"
+	case MEHPT:
+		return "ME-HPT"
+	}
+	return fmt.Sprintf("Org(%d)", int(o))
+}
+
+// DataMLP is the memory-level-parallelism factor applied to data accesses:
+// the 256-entry OoO core (Table III) overlaps independent data misses, so a
+// data access costs its hierarchy latency divided by this factor. Page-walk
+// accesses are serially dependent and get no such discount — the paper's
+// core argument for why multi-access radix walks hurt ("does not leverage
+// the memory-level parallelism afforded by modern processors", Section I).
+const DataMLP = 4
+
+// Config describes one simulation run.
+type Config struct {
+	Org      Org
+	Workload workload.Spec
+	THP      bool
+	// Accesses is the number of memory references to simulate. The paper
+	// measures 550M instructions/thread; at a typical ~1/3 memory-reference
+	// density that is ~180M accesses at full scale.
+	Accesses uint64
+	Seed     int64
+	// MemBytes is the machine's physical memory (Table III: 64GB).
+	MemBytes uint64
+	// FMFI is the ambient memory fragmentation (the paper evaluates at
+	// 0.7). Memory is pre-fragmented to this level before the run.
+	FMFI float64
+	// FreeFraction is how much physical memory the fragmenter leaves free.
+	FreeFraction float64
+	// Populate pre-faults every touched page before the timed trace
+	// (experiment drivers measuring only page-table state set this and use
+	// Accesses = 0).
+	Populate bool
+	// MEHPTConfig optionally overrides the ME-HPT feature toggles
+	// (ablations). Nil means the full design.
+	MEHPTConfig *mehpt.Config
+}
+
+// Result is everything the experiments need from one run.
+type Result struct {
+	Org        Org
+	Workload   string
+	THP        bool
+	Failed     bool // the run could not finish (allocation failure)
+	FailReason string
+
+	Cycles     uint64 // total simulated cycles
+	Accesses   uint64
+	DataCycles uint64 // data-access cache latency
+	XlatCycles uint64 // translation latency (TLB + walks)
+	OSCycles   uint64 // page-fault handling incl. allocation stalls
+
+	MMU mmu.Stats
+	OS  osmodel.Stats
+
+	// Page-table organization metrics.
+	PTPeakBytes   uint64 // peak page-table memory (Table I, Figure 10)
+	PTFinalBytes  uint64
+	MaxContiguous uint64 // largest contiguous PT allocation (Figure 8)
+	PTAllocCycles uint64
+	PTMoves       uint64 // entries moved by resizes (rehash data movement)
+
+	// Organization-specific handles for deep inspection (nil for others).
+	MEHPT *mehpt.PageTable
+	ECPT  *ecpt.PageTable
+}
+
+// pageTable unifies the three organizations for the engine.
+type pageTable interface {
+	osmodel.PageTable
+	FootprintBytes() uint64
+	PeakFootprintBytes() uint64
+	MaxContiguousAlloc() uint64
+	AllocCycles() uint64
+	Moves() uint64
+	Free()
+}
+
+// Machine is one wired-up simulated system.
+type Machine struct {
+	cfg   Config
+	mem   *phys.Memory
+	alloc *phys.Allocator
+	os    *osmodel.OS
+	mmu   mmu.MMU
+	table pageTable
+	cache *cache.Hierarchy
+}
+
+// NewMachine builds the machine for cfg, pre-fragmenting memory.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.MemBytes == 0 {
+		cfg.MemBytes = 64 * addr.GB
+	}
+	if cfg.FreeFraction == 0 {
+		cfg.FreeFraction = 0.35
+	}
+	mem := phys.NewMemory(cfg.MemBytes)
+	if cfg.FMFI > 0 {
+		fr := phys.NewFragmenter(mem)
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		refOrder := phys.OrderFor(64 * addr.MB)
+		if err := fr.Fragment(cfg.FMFI, cfg.FreeFraction, refOrder, rng); err != nil {
+			return nil, fmt.Errorf("sim: fragmenting memory: %w", err)
+		}
+		mem.ResetStats()
+	}
+	alloc := phys.NewAllocator(mem, cfg.FMFI)
+	m := &Machine{cfg: cfg, mem: mem, alloc: alloc,
+		cache: cache.NewHierarchy(cache.TableIII())}
+
+	seed := uint64(cfg.Seed)*2654435761 + 12345
+	switch cfg.Org {
+	case Radix:
+		rt, err := newRadixAdapter(alloc)
+		if err != nil {
+			return nil, err
+		}
+		m.table = rt
+		m.mmu = mmu.NewRadix(rt.pt, m.cache)
+	case ECPT:
+		c := ecpt.DefaultConfig(seed)
+		c.Rand = rand.New(rand.NewSource(cfg.Seed + 2))
+		p, err := ecpt.NewPageTable(alloc, c)
+		if err != nil {
+			return nil, err
+		}
+		m.table = p
+		m.mmu = mmu.NewHPT(p, m.cache)
+	case MEHPT:
+		var c mehpt.Config
+		if cfg.MEHPTConfig != nil {
+			c = *cfg.MEHPTConfig
+		} else {
+			c = mehpt.DefaultConfig(seed)
+		}
+		if c.Rand == nil {
+			c.Rand = rand.New(rand.NewSource(cfg.Seed + 2))
+		}
+		p, err := mehpt.NewPageTable(alloc, c)
+		if err != nil {
+			return nil, err
+		}
+		m.table = p
+		m.mmu = mmu.NewHPT(p, m.cache)
+	default:
+		return nil, fmt.Errorf("sim: unknown organization %v", cfg.Org)
+	}
+
+	osCfg := osmodel.DefaultConfig()
+	osCfg.THP = cfg.THP
+	osCfg.THPFraction = cfg.Workload.THPFraction
+	m.os = osmodel.New(osCfg, m.table, alloc)
+	return m, nil
+}
+
+// Run executes the configured simulation and returns its results.
+func Run(cfg Config) Result {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return Result{Org: cfg.Org, Workload: cfg.Workload.Name, THP: cfg.THP,
+			Failed: true, FailReason: err.Error()}
+	}
+	return m.Run()
+}
+
+// Run executes the trace on an already-built machine.
+func (m *Machine) Run() Result {
+	res := Result{Org: m.cfg.Org, Workload: m.cfg.Workload.Name, THP: m.cfg.THP}
+
+	if m.cfg.Populate {
+		fail := false
+		m.cfg.Workload.TouchedPageVAs(func(va addr.VirtAddr) bool {
+			if _, ok := m.table.Translate(va); ok {
+				return true
+			}
+			cycles, err := m.os.HandleFault(va)
+			res.OSCycles += cycles
+			if err != nil {
+				res.Failed = true
+				res.FailReason = err.Error()
+				fail = true
+				return false
+			}
+			return true
+		})
+		if fail {
+			m.finish(&res)
+			return res
+		}
+	}
+
+	trace := m.cfg.Workload.NewTrace(m.cfg.Seed+7, m.cfg.Accesses)
+	for {
+		va, ok := trace.Next()
+		if !ok {
+			break
+		}
+		res.Accesses++
+		r := m.mmu.Translate(va)
+		res.XlatCycles += r.Cycles
+		if r.Fault {
+			cycles, err := m.os.HandleFault(va)
+			res.OSCycles += cycles
+			if err != nil {
+				res.Failed = true
+				res.FailReason = err.Error()
+				break
+			}
+			r = m.mmu.Translate(va)
+			res.XlatCycles += r.Cycles
+			if r.Fault {
+				res.Failed = true
+				res.FailReason = "fault persisted after OS handling"
+				break
+			}
+		}
+		res.DataCycles += m.cache.Access(r.PA) / DataMLP
+	}
+	m.finish(&res)
+	return res
+}
+
+func (m *Machine) finish(res *Result) {
+	res.Cycles = res.DataCycles + res.XlatCycles + res.OSCycles
+	res.MMU = m.mmu.Stats()
+	res.OS = m.os.Stats()
+	res.PTPeakBytes = m.table.PeakFootprintBytes()
+	res.PTFinalBytes = m.table.FootprintBytes()
+	res.MaxContiguous = m.table.MaxContiguousAlloc()
+	res.PTAllocCycles = m.table.AllocCycles()
+	res.PTMoves = m.table.Moves()
+	switch t := m.table.(type) {
+	case *mehpt.PageTable:
+		res.MEHPT = t
+	case *ecpt.PageTable:
+		res.ECPT = t
+	}
+}
+
+// RunAddresses drives an arbitrary address stream through the machine:
+// gen's emit callback performs one memory reference (translation, fault
+// handling, data access) per call. It powers algorithm-driven traces
+// (internal/graph kernels) as opposed to the statistical workload traces.
+func (m *Machine) RunAddresses(gen func(emit func(va addr.VirtAddr))) Result {
+	res := Result{Org: m.cfg.Org, Workload: "stream", THP: m.cfg.THP}
+	gen(func(va addr.VirtAddr) {
+		if res.Failed {
+			return
+		}
+		res.Accesses++
+		r := m.mmu.Translate(va)
+		res.XlatCycles += r.Cycles
+		if r.Fault {
+			cycles, err := m.os.HandleFault(va)
+			res.OSCycles += cycles
+			if err != nil {
+				res.Failed = true
+				res.FailReason = err.Error()
+				return
+			}
+			r = m.mmu.Translate(va)
+			res.XlatCycles += r.Cycles
+			if r.Fault {
+				res.Failed = true
+				res.FailReason = "fault persisted after OS handling"
+				return
+			}
+		}
+		res.DataCycles += m.cache.Access(r.PA) / DataMLP
+	})
+	m.finish(&res)
+	return res
+}
+
+// Table returns the machine's page table (for experiment inspection before
+// running).
+func (m *Machine) Table() osmodel.PageTable { return m.table }
+
+// SetAmbientFMFI overrides the fragmentation level used to *price*
+// allocations without physically shredding memory. Experiment drivers use
+// it so a pristine buddy allocator still charges the paper's 0.7-FMFI
+// costs.
+func (m *Machine) SetAmbientFMFI(f float64) { m.alloc.AmbientFMFI = f }
+
+// radixAdapter gives radix.PageTable the uniform pageTable shape (it lacks
+// nothing but the interface names line up except for construction).
+type radixAdapter struct {
+	pt *radix.PageTable
+}
+
+func newRadixAdapter(alloc *phys.Allocator) (*radixAdapter, error) {
+	p, err := radix.NewPageTable(alloc)
+	if err != nil {
+		return nil, err
+	}
+	return &radixAdapter{pt: p}, nil
+}
+
+func (r *radixAdapter) Map(vpn addr.VPN, s addr.PageSize, ppn addr.PPN) (uint64, error) {
+	return r.pt.Map(vpn, s, ppn)
+}
+func (r *radixAdapter) Unmap(vpn addr.VPN, s addr.PageSize) (uint64, bool) {
+	return r.pt.Unmap(vpn, s)
+}
+func (r *radixAdapter) Translate(va addr.VirtAddr) (pt.Translation, bool) {
+	return r.pt.Translate(va)
+}
+func (r *radixAdapter) FootprintBytes() uint64     { return r.pt.FootprintBytes() }
+func (r *radixAdapter) PeakFootprintBytes() uint64 { return r.pt.PeakFootprintBytes() }
+func (r *radixAdapter) MaxContiguousAlloc() uint64 { return r.pt.MaxContiguousAlloc() }
+func (r *radixAdapter) AllocCycles() uint64        { return r.pt.AllocCycles() }
+func (r *radixAdapter) Moves() uint64              { return 0 }
+func (r *radixAdapter) Free()                      { r.pt.Free() }

@@ -1,0 +1,149 @@
+// Package stats provides the small statistical helpers shared by the
+// experiment drivers: histograms, geometric means, and running counters.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// GeoMean returns the geometric mean of xs. It returns 0 for an empty slice
+// and NaN if any value is negative.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x < 0 {
+			return math.NaN()
+		}
+		if x == 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Histogram counts integer-valued observations (e.g. the number of cuckoo
+// re-insertions per insert, Figure 16). The zero value is ready to use.
+type Histogram struct {
+	counts map[int]uint64
+	total  uint64
+	sum    float64
+}
+
+// Add records one observation of value v.
+func (h *Histogram) Add(v int) {
+	if h.counts == nil {
+		h.counts = make(map[int]uint64)
+	}
+	h.counts[v]++
+	h.total++
+	h.sum += float64(v)
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Count returns the number of observations with value v.
+func (h *Histogram) Count(v int) uint64 { return h.counts[v] }
+
+// Probability returns the empirical probability of value v.
+func (h *Histogram) Probability(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// Mean returns the mean observed value.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the largest observed value, or 0 if empty.
+func (h *Histogram) Max() int {
+	max := 0
+	for v := range h.counts {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Values returns the observed values in ascending order.
+func (h *Histogram) Values() []int {
+	vs := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// Merge adds all observations from other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for v, c := range other.counts {
+		if h.counts == nil {
+			h.counts = make(map[int]uint64)
+		}
+		h.counts[v] += c
+		h.total += c
+		h.sum += float64(v) * float64(c)
+	}
+}
+
+// String renders the histogram as "v:p v:p ..." with probabilities.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i, v := range h.Values() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%.3f", v, h.Probability(v))
+	}
+	return b.String()
+}
+
+// Ftoa formats a fraction with three decimals (figure rendering helper).
+func Ftoa(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// HumanBytes formats a byte count with a binary-unit suffix, the way the
+// paper's tables report sizes ("8KB", "1MB", "64MB").
+func HumanBytes(n uint64) string {
+	units := []struct {
+		shift uint
+		name  string
+	}{{40, "TB"}, {30, "GB"}, {20, "MB"}, {10, "KB"}}
+	for _, u := range units {
+		unit := uint64(1) << u.shift
+		if n < unit {
+			continue
+		}
+		if n%unit == 0 {
+			return fmt.Sprintf("%d%s", n>>u.shift, u.name)
+		}
+		return fmt.Sprintf("%.1f%s", float64(n)/float64(unit), u.name)
+	}
+	return fmt.Sprintf("%dB", n)
+}

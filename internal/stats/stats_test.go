@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); !almostEqual(g, 4) {
+		t.Errorf("GeoMean(2,8) = %v, want 4", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", g)
+	}
+	if g := GeoMean([]float64{5}); !almostEqual(g, 5) {
+		t.Errorf("GeoMean(5) = %v, want 5", g)
+	}
+	if g := GeoMean([]float64{1, 0, 4}); g != 0 {
+		t.Errorf("GeoMean with zero = %v, want 0", g)
+	}
+	if g := GeoMean([]float64{1, -1}); !math.IsNaN(g) {
+		t.Errorf("GeoMean with negative = %v, want NaN", g)
+	}
+}
+
+func TestGeoMeanBounds(t *testing.T) {
+	// GeoMean lies between min and max for positive inputs.
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := GeoMean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); !almostEqual(m, 2) {
+		t.Errorf("Mean = %v, want 2", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 3; i++ {
+		h.Add(0)
+	}
+	h.Add(2)
+	if h.Total() != 4 {
+		t.Errorf("Total = %d, want 4", h.Total())
+	}
+	if h.Count(0) != 3 || h.Count(2) != 1 || h.Count(1) != 0 {
+		t.Errorf("counts wrong: %v %v %v", h.Count(0), h.Count(1), h.Count(2))
+	}
+	if p := h.Probability(0); !almostEqual(p, 0.75) {
+		t.Errorf("P(0) = %v, want 0.75", p)
+	}
+	if m := h.Mean(); !almostEqual(m, 0.5) {
+		t.Errorf("Mean = %v, want 0.5", m)
+	}
+	if h.Max() != 2 {
+		t.Errorf("Max = %d, want 2", h.Max())
+	}
+	vs := h.Values()
+	if len(vs) != 2 || vs[0] != 0 || vs[1] != 2 {
+		t.Errorf("Values = %v", vs)
+	}
+}
+
+func TestHistogramZeroValue(t *testing.T) {
+	var h Histogram
+	if h.Total() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Probability(1) != 0 {
+		t.Error("zero-value histogram should report zeros")
+	}
+	if s := h.String(); s != "" {
+		t.Errorf("empty histogram String = %q", s)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(1)
+	a.Add(1)
+	b.Add(2)
+	a.Merge(&b)
+	if a.Total() != 3 || a.Count(1) != 2 || a.Count(2) != 1 {
+		t.Errorf("merge wrong: total=%d", a.Total())
+	}
+	if !almostEqual(a.Mean(), 4.0/3.0) {
+		t.Errorf("merged mean = %v", a.Mean())
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want string
+	}{
+		{512, "512B"},
+		{8 << 10, "8KB"},
+		{1 << 20, "1MB"},
+		{64 << 20, "64MB"},
+		{3 << 30, "3GB"},
+		{6 << 40, "6TB"},
+		{1536, "1.5KB"},
+		{(1 << 20) + (1 << 19), "1.5MB"},
+	}
+	for _, c := range cases {
+		if got := HumanBytes(c.n); got != c.want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package tlb models the two-level, per-page-size data TLB hierarchy of
+// Table III: small fast L1 DTLBs (one per page size) backed by larger L2
+// DTLBs, all set-associative with LRU replacement.
+package tlb
+
+import (
+	"repro/internal/addr"
+)
+
+// Config describes one TLB structure.
+type Config struct {
+	Entries int
+	Ways    int
+	Latency uint64 // round-trip cycles
+}
+
+// Stats counts TLB behaviour.
+type Stats struct {
+	Hits, Misses uint64
+}
+
+// TLB is one set-associative translation lookaside buffer keyed by VPN.
+type TLB struct {
+	cfg   Config
+	sets  uint64
+	tags  [][]uint64 // per-set VPN+1 stacks, MRU first
+	stats Stats
+}
+
+// New creates a TLB. A Ways value of 0 or ≥ Entries makes it fully
+// associative.
+func New(cfg Config) *TLB {
+	if cfg.Ways <= 0 || cfg.Ways > cfg.Entries {
+		cfg.Ways = cfg.Entries
+	}
+	sets := uint64(cfg.Entries / cfg.Ways)
+	if sets == 0 {
+		sets = 1
+	}
+	return &TLB{cfg: cfg, sets: sets, tags: make([][]uint64, sets)}
+}
+
+// Lookup probes for vpn, updating LRU on a hit.
+func (t *TLB) Lookup(vpn addr.VPN) bool {
+	set := t.tags[uint64(vpn)%t.sets]
+	for i, tag := range set {
+		if tag == uint64(vpn)+1 {
+			copy(set[1:i+1], set[:i])
+			set[0] = uint64(vpn) + 1
+			t.stats.Hits++
+			return true
+		}
+	}
+	t.stats.Misses++
+	return false
+}
+
+// Insert installs vpn, evicting the set's LRU entry if needed.
+func (t *TLB) Insert(vpn addr.VPN) {
+	si := uint64(vpn) % t.sets
+	set := t.tags[si]
+	for i, tag := range set {
+		if tag == uint64(vpn)+1 {
+			copy(set[1:i+1], set[:i])
+			set[0] = uint64(vpn) + 1
+			t.tags[si] = set
+			return
+		}
+	}
+	if len(set) < t.cfg.Ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = uint64(vpn) + 1
+	t.tags[si] = set
+}
+
+// Invalidate removes vpn if present (TLB shootdown on unmap).
+func (t *TLB) Invalidate(vpn addr.VPN) {
+	si := uint64(vpn) % t.sets
+	set := t.tags[si]
+	for i, tag := range set {
+		if tag == uint64(vpn)+1 {
+			t.tags[si] = append(set[:i], set[i+1:]...)
+			return
+		}
+	}
+}
+
+// Flush empties the TLB (context switch without ASIDs).
+func (t *TLB) Flush() { t.tags = make([][]uint64, t.sets) }
+
+// Latency returns the hit latency.
+func (t *TLB) Latency() uint64 { return t.cfg.Latency }
+
+// Stats returns hit/miss counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// Hierarchy is the full per-page-size two-level DTLB stack.
+type Hierarchy struct {
+	l1 [addr.NumPageSizes]*TLB
+	l2 [addr.NumPageSizes]*TLB
+}
+
+// NewTableIII builds the paper's DTLB configuration: L1 64e/4w (4KB),
+// 32e/4w (2MB), 4e (1GB) at 2 cycles; L2 1024e/12w (4KB), 1024e/12w (2MB),
+// 16e/4w (1GB) at 12 cycles.
+func NewTableIII() *Hierarchy {
+	h := &Hierarchy{}
+	h.l1[addr.Page4K] = New(Config{Entries: 64, Ways: 4, Latency: 2})
+	h.l1[addr.Page2M] = New(Config{Entries: 32, Ways: 4, Latency: 2})
+	h.l1[addr.Page1G] = New(Config{Entries: 4, Ways: 0, Latency: 2})
+	h.l2[addr.Page4K] = New(Config{Entries: 1024, Ways: 12, Latency: 12})
+	h.l2[addr.Page2M] = New(Config{Entries: 1024, Ways: 12, Latency: 12})
+	h.l2[addr.Page1G] = New(Config{Entries: 16, Ways: 4, Latency: 12})
+	return h
+}
+
+// Result describes where a TLB lookup was satisfied.
+type Result int
+
+// Lookup outcomes.
+const (
+	MissAll Result = iota
+	HitL1
+	HitL2
+)
+
+// Lookup probes L1 then L2 for va at page size s, returning the outcome and
+// the lookup latency. An L2 hit refills L1.
+func (h *Hierarchy) Lookup(va addr.VirtAddr, s addr.PageSize) (Result, uint64) {
+	vpn := va.PageNumber(s)
+	if h.l1[s].Lookup(vpn) {
+		return HitL1, h.l1[s].Latency()
+	}
+	if h.l2[s].Lookup(vpn) {
+		h.l1[s].Insert(vpn)
+		return HitL2, h.l1[s].Latency() + h.l2[s].Latency()
+	}
+	return MissAll, h.l1[s].Latency() + h.l2[s].Latency()
+}
+
+// Insert installs a completed translation into both levels.
+func (h *Hierarchy) Insert(va addr.VirtAddr, s addr.PageSize) {
+	vpn := va.PageNumber(s)
+	h.l1[s].Insert(vpn)
+	h.l2[s].Insert(vpn)
+}
+
+// Invalidate removes a translation from both levels (unmap shootdown).
+func (h *Hierarchy) Invalidate(va addr.VirtAddr, s addr.PageSize) {
+	vpn := va.PageNumber(s)
+	h.l1[s].Invalidate(vpn)
+	h.l2[s].Invalidate(vpn)
+}
+
+// L1 and L2 expose the underlying structures for stats inspection.
+func (h *Hierarchy) L1(s addr.PageSize) *TLB { return h.l1[s] }
+
+// L2 returns the second-level TLB for page size s.
+func (h *Hierarchy) L2(s addr.PageSize) *TLB { return h.l2[s] }

@@ -1,0 +1,124 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func TestLookupInsert(t *testing.T) {
+	tb := New(Config{Entries: 16, Ways: 4, Latency: 2})
+	if tb.Lookup(100) {
+		t.Fatal("cold lookup hit")
+	}
+	tb.Insert(100)
+	if !tb.Lookup(100) {
+		t.Fatal("lookup after insert missed")
+	}
+	st := tb.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDuplicateInsertKeepsOneCopy(t *testing.T) {
+	tb := New(Config{Entries: 4, Ways: 4, Latency: 1})
+	tb.Insert(1)
+	tb.Insert(1)
+	tb.Insert(2)
+	tb.Insert(3)
+	tb.Insert(4) // would evict if 1 were duplicated
+	if !tb.Lookup(2) || !tb.Lookup(3) || !tb.Lookup(4) {
+		t.Error("entries lost; duplicate insert consumed a way")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	tb := New(Config{Entries: 4, Ways: 2, Latency: 1}) // 2 sets × 2 ways
+	// VPNs 0,2,4 map to set 0.
+	tb.Insert(0)
+	tb.Insert(2)
+	tb.Lookup(0) // 0 MRU
+	tb.Insert(4) // evicts 2
+	if !tb.Lookup(0) {
+		t.Error("MRU entry evicted")
+	}
+	if tb.Lookup(2) {
+		t.Error("LRU entry survived")
+	}
+}
+
+func TestInvalidateAndFlush(t *testing.T) {
+	tb := New(Config{Entries: 8, Ways: 4, Latency: 1})
+	tb.Insert(5)
+	tb.Invalidate(5)
+	if tb.Lookup(5) {
+		t.Error("invalidated entry still present")
+	}
+	tb.Insert(6)
+	tb.Insert(7)
+	tb.Flush()
+	if tb.Lookup(6) || tb.Lookup(7) {
+		t.Error("entries survived flush")
+	}
+}
+
+func TestFullyAssociative(t *testing.T) {
+	tb := New(Config{Entries: 4, Ways: 0, Latency: 1})
+	for v := addr.VPN(0); v < 4; v++ {
+		tb.Insert(v)
+	}
+	for v := addr.VPN(0); v < 4; v++ {
+		if !tb.Lookup(v) {
+			t.Errorf("entry %d missing in fully-associative TLB", v)
+		}
+	}
+	tb.Insert(99) // evicts LRU (0 after the lookups refreshed order 0..3 → 0 is LRU? After lookups, 3 is MRU, 0 LRU)
+	if tb.Lookup(0) {
+		t.Error("LRU entry survived in full TLB")
+	}
+}
+
+func TestHierarchyL2Refill(t *testing.T) {
+	h := NewTableIII()
+	va := addr.VirtAddr(0x123456789000)
+	if r, _ := h.Lookup(va, addr.Page4K); r != MissAll {
+		t.Fatal("cold lookup hit")
+	}
+	h.Insert(va, addr.Page4K)
+	if r, lat := h.Lookup(va, addr.Page4K); r != HitL1 || lat != 2 {
+		t.Fatalf("after insert: %v, %d", r, lat)
+	}
+	// Evict from L1 (64e/4w, 16 sets): 4 conflicting VPNs at stride 16.
+	base := va.PageNumber(addr.Page4K)
+	for i := 1; i <= 4; i++ {
+		h.Insert((base + addr.VPN(16*i)).Addr(addr.Page4K), addr.Page4K)
+	}
+	r, lat := h.Lookup(va, addr.Page4K)
+	if r != HitL2 {
+		t.Fatalf("expected L2 hit, got %v", r)
+	}
+	if lat != 14 {
+		t.Errorf("L2 hit latency = %d, want 14 (2+12)", lat)
+	}
+	// The L2 hit refilled L1.
+	if r, _ := h.Lookup(va, addr.Page4K); r != HitL1 {
+		t.Errorf("L1 not refilled after L2 hit: %v", r)
+	}
+}
+
+func TestHierarchyPerSizeIsolation(t *testing.T) {
+	h := NewTableIII()
+	va := addr.VirtAddr(0x40000000)
+	h.Insert(va, addr.Page2M)
+	if r, _ := h.Lookup(va, addr.Page4K); r != MissAll {
+		t.Error("2MB insert visible to 4KB lookup")
+	}
+	if r, _ := h.Lookup(va, addr.Page2M); r != HitL1 {
+		t.Error("2MB insert not visible to 2MB lookup")
+	}
+	h.Invalidate(va, addr.Page2M)
+	if r, _ := h.Lookup(va, addr.Page2M); r != MissAll {
+		t.Error("invalidate did not remove 2MB entry")
+	}
+}

@@ -1,0 +1,248 @@
+// Package workload provides synthetic generators for the paper's eleven
+// applications (Section VI): eight GraphBIG graph kernels, GUPS, MUMmer,
+// and the SysBench memory benchmark. Real binaries and inputs are not
+// available here, so each generator reproduces the property that drives the
+// paper's results: the application's *touched footprint* and *access
+// pattern*, calibrated so the page tables it populates reach the way sizes
+// Table I reports.
+//
+// Calibration: a W-slot HPT way is the paper's final size when the touched
+// cluster count is ≈1.2 × W (occupancy 0.8 at the previous size — above
+// the 0.6 upsize threshold — and 0.4 at the final size — below it). Dense
+// workloads touch 8 contiguous pages per cluster; sparse workloads (GUPS)
+// touch ≈1 page per cluster.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+	"repro/internal/pt"
+)
+
+// Kind selects the access-pattern family.
+type Kind int
+
+// Pattern families.
+const (
+	// Dense: a contiguous touched region; accesses mix sequential sweeps
+	// with uniform random references (graph kernels, MUMmer, SysBench).
+	Dense Kind = iota
+	// Sparse: pages are scattered across a much larger data universe, so
+	// page-table clustering cannot merge them (GUPS).
+	Sparse
+)
+
+// Spec describes one application.
+type Spec struct {
+	Name string
+	// DataBytes is the application's data memory (Table I column 2).
+	DataBytes uint64
+	// TouchedBytes is the memory actually faulted in during the measured
+	// window, calibrated to Table I's page-table sizes.
+	TouchedBytes uint64
+	Kind         Kind
+	// SeqFraction is the probability an access continues a sequential
+	// sweep rather than jumping uniformly at random.
+	SeqFraction float64
+	// BlockBytes, when nonzero, makes random jumps land on block
+	// boundaries and continue sequentially within the block (SysBench's
+	// blocked access).
+	BlockBytes uint64
+	// THPFraction is the fraction of the touched region that is
+	// THP-eligible, calibrated to Table I's THP columns.
+	THPFraction float64
+	// HotFraction is the probability an access targets the hot working set
+	// (models the temporal locality real applications have: frontiers,
+	// property arrays, stacks). Hot accesses mostly hit caches and TLBs;
+	// the remaining accesses stress translation.
+	HotFraction float64
+	// HotBytes is the hot working-set size; it defaults to 256KB, which
+	// fits the L2 cache and the L1 TLB.
+	HotBytes uint64
+}
+
+// BaseVA is where the touched region (dense) or data universe (sparse)
+// starts in virtual memory.
+const BaseVA = addr.VirtAddr(0x5800_0000_0000)
+
+// wayTargets maps each application to the final ECPT/ME-HPT way size
+// (bytes) Table I and Figure 12 report for 4KB pages without THP, from
+// which TouchedBytes is derived.
+func touchedForWay(wayBytes uint64, kind Kind) uint64 {
+	slots := wayBytes / pt.EntryBytes
+	clusters := slots + slots/5 // 1.2 × W
+	if kind == Sparse {
+		return clusters * 4 * addr.KB // one page per cluster
+	}
+	return clusters * pt.ClusterSpan * 4 * addr.KB
+}
+
+// Specs returns the eleven applications in the paper's order. scale divides
+// every size (scale 1 = the paper's full configuration); it must be ≥ 1.
+func Specs(scale uint64) []Spec {
+	if scale == 0 {
+		scale = 1
+	}
+	d := func(gb float64) uint64 { return uint64(gb*float64(addr.GB)) / scale }
+	w := func(wayBytes uint64, kind Kind) uint64 {
+		return touchedForWay(wayBytes/scale, kind)
+	}
+	return []Spec{
+		{Name: "BC", DataBytes: d(17.3), TouchedBytes: w(8*addr.MB, Dense), Kind: Dense, SeqFraction: 0.55, THPFraction: 0, HotFraction: 0.68},
+		{Name: "BFS", DataBytes: d(9.3), TouchedBytes: w(16*addr.MB, Dense), Kind: Dense, SeqFraction: 0.5, THPFraction: 0, HotFraction: 0.65},
+		{Name: "CC", DataBytes: d(9.3), TouchedBytes: w(16*addr.MB, Dense), Kind: Dense, SeqFraction: 0.55, THPFraction: 0, HotFraction: 0.65},
+		{Name: "DC", DataBytes: d(9.3), TouchedBytes: w(16*addr.MB, Dense), Kind: Dense, SeqFraction: 0.65, THPFraction: 0, HotFraction: 0.68},
+		{Name: "DFS", DataBytes: d(9.0), TouchedBytes: w(16*addr.MB, Dense), Kind: Dense, SeqFraction: 0.35, THPFraction: 0, HotFraction: 0.6},
+		{Name: "GUPS", DataBytes: d(64), TouchedBytes: w(64*addr.MB, Sparse), Kind: Sparse, SeqFraction: 0.02, THPFraction: 1.0, HotFraction: 0.05},
+		{Name: "MUMmer", DataBytes: d(6.9), TouchedBytes: w(1*addr.MB, Dense), Kind: Dense, SeqFraction: 0.45, THPFraction: 0.5, HotFraction: 0.6},
+		{Name: "PR", DataBytes: d(9.3), TouchedBytes: w(16*addr.MB, Dense), Kind: Dense, SeqFraction: 0.7, THPFraction: 0, HotFraction: 0.68},
+		{Name: "SSSP", DataBytes: d(9.3), TouchedBytes: w(16*addr.MB, Dense), Kind: Dense, SeqFraction: 0.5, THPFraction: 0, HotFraction: 0.65},
+		{Name: "SysBench", DataBytes: d(64), TouchedBytes: w(64*addr.MB, Dense), Kind: Dense, SeqFraction: 0.6, BlockBytes: 1 * addr.KB, THPFraction: 1.0, HotFraction: 0.15},
+		{Name: "TC", DataBytes: d(11.9), TouchedBytes: w(2*addr.MB, Dense), Kind: Dense, SeqFraction: 0.6, THPFraction: 0, HotFraction: 0.68},
+	}
+}
+
+// ByName returns the spec with the given name at the given scale.
+func ByName(name string, scale uint64) (Spec, error) {
+	for _, s := range Specs(scale) {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown application %q", name)
+}
+
+// Names returns the application names in the paper's order.
+func Names() []string {
+	names := make([]string, 0, 11)
+	for _, s := range Specs(1) {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// touchedPages returns how many distinct 4KB pages the workload faults in.
+func (s Spec) touchedPages() uint64 { return s.TouchedBytes / (4 * addr.KB) }
+
+// universePages returns the page count of the data universe sparse accesses
+// draw from, rounded down to a power of two so that the odd-multiplier page
+// scatter (i*K mod N with gcd(K,N)=1) visits distinct pages.
+func (s Spec) universePages() uint64 {
+	p := s.DataBytes / (4 * addr.KB)
+	if p < s.touchedPages() {
+		p = s.touchedPages()
+	}
+	pow := uint64(1)
+	for pow*2 <= p {
+		pow *= 2
+	}
+	for pow < s.touchedPages() {
+		pow *= 2
+	}
+	return pow
+}
+
+// sparseStride is the odd multiplier that spreads sparse page indices over
+// the data universe: page i lives at (i*sparseStride) mod universe. The
+// multiplier is a large odd constant, so indices are distinct until the
+// universe wraps and consecutive pages land far apart (no clustering).
+const sparseStride = 0x9E3779B97F4A7C15
+
+// PageVA returns the virtual address of the i-th touched page in
+// first-touch order.
+func (s Spec) PageVA(i uint64) addr.VirtAddr {
+	if s.Kind == Sparse {
+		page := (i * sparseStride) % s.universePages()
+		return BaseVA + addr.VirtAddr(page*4*addr.KB)
+	}
+	return BaseVA + addr.VirtAddr(i*4*addr.KB)
+}
+
+// TouchedPageVAs iterates the distinct pages in first-touch order, calling
+// f for each. Experiment drivers use it to populate page tables at full
+// scale. f returning false stops the iteration.
+func (s Spec) TouchedPageVAs(f func(va addr.VirtAddr) bool) {
+	n := s.touchedPages()
+	for i := uint64(0); i < n; i++ {
+		if !f(s.PageVA(i)) {
+			return
+		}
+	}
+}
+
+// Trace generates the timing-mode access stream: a deterministic sequence
+// of n virtual addresses following the spec's pattern.
+type Trace struct {
+	spec    Spec
+	rng     *rand.Rand
+	n       uint64
+	emitted uint64
+	// sequential cursor state
+	curPage uint64 // index into touched pages
+	curOff  uint64
+}
+
+// NewTrace creates a trace of n accesses with the given seed.
+func (s Spec) NewTrace(seed int64, n uint64) *Trace {
+	return &Trace{spec: s, rng: rand.New(rand.NewSource(seed)), n: n}
+}
+
+// Len returns the total number of accesses the trace will produce.
+func (t *Trace) Len() uint64 { return t.n }
+
+// Next returns the next access, or false when the trace is exhausted.
+func (t *Trace) Next() (addr.VirtAddr, bool) {
+	if t.emitted >= t.n {
+		return 0, false
+	}
+	t.emitted++
+	s := t.spec
+	pages := s.touchedPages()
+	// Hot-set access: a reference into the small resident working set at
+	// the front of the touched region.
+	if s.HotFraction > 0 && t.rng.Float64() < s.HotFraction {
+		hot := s.HotBytes
+		if hot == 0 {
+			hot = 256 * addr.KB
+		}
+		hotPages := hot / (4 * addr.KB)
+		if hotPages > pages {
+			hotPages = pages
+		}
+		pg := uint64(t.rng.Int63()) % hotPages
+		off := (uint64(t.rng.Int63()) % (4 * addr.KB)) &^ 7
+		return s.PageVA(pg) + addr.VirtAddr(off), true
+	}
+	if t.rng.Float64() >= s.SeqFraction {
+		// Random jump.
+		if s.BlockBytes > 0 {
+			blockPages := s.BlockBytes / (4 * addr.KB)
+			if blockPages == 0 {
+				blockPages = 1
+			}
+			blocks := pages / blockPages
+			if blocks == 0 {
+				blocks = 1
+			}
+			t.curPage = (uint64(t.rng.Int63()) % blocks) * blockPages
+			t.curOff = 0
+		} else {
+			t.curPage = uint64(t.rng.Int63()) % pages
+			t.curOff = uint64(t.rng.Int63()) % (4 * addr.KB)
+			t.curOff &^= 7
+		}
+	} else {
+		// Sequential step: next cache line.
+		t.curOff += 64
+		if t.curOff >= 4*addr.KB {
+			t.curOff = 0
+			t.curPage++
+			if t.curPage >= pages {
+				t.curPage = 0
+			}
+		}
+	}
+	return s.PageVA(t.curPage) + addr.VirtAddr(t.curOff), true
+}

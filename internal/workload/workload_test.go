@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/pt"
+)
+
+func TestSpecsComplete(t *testing.T) {
+	names := Names()
+	want := []string{"BC", "BFS", "CC", "DC", "DFS", "GUPS", "MUMmer", "PR", "SSSP", "SysBench", "TC"}
+	if len(names) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(names), len(want))
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("spec %d = %s, want %s (paper order)", i, names[i], want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("GUPS", 1)
+	if err != nil || s.Name != "GUPS" {
+		t.Fatalf("ByName(GUPS) = %+v, %v", s, err)
+	}
+	if s.Kind != Sparse {
+		t.Error("GUPS must be sparse")
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+// TestCalibration verifies the Table I calibration arithmetic: the touched
+// cluster count is 1.2× the slot count of the paper's final way size.
+func TestCalibration(t *testing.T) {
+	cases := map[string]uint64{ // app -> final way bytes (Table I / Fig 12)
+		"BFS":      16 * addr.MB,
+		"BC":       8 * addr.MB,
+		"GUPS":     64 * addr.MB,
+		"SysBench": 64 * addr.MB,
+		"MUMmer":   1 * addr.MB,
+		"TC":       2 * addr.MB,
+	}
+	for app, way := range cases {
+		s, _ := ByName(app, 1)
+		slots := way / pt.EntryBytes
+		var clusters uint64
+		if s.Kind == Sparse {
+			clusters = s.TouchedBytes / (4 * addr.KB) // 1 page per cluster
+		} else {
+			clusters = s.TouchedBytes / (4 * addr.KB) / pt.ClusterSpan
+		}
+		lo, hi := slots*105/100, slots*135/100
+		if clusters < lo || clusters > hi {
+			t.Errorf("%s: %d clusters for %d-slot way; want ≈1.2x in [%d,%d]",
+				app, clusters, slots, lo, hi)
+		}
+	}
+}
+
+func TestScaleDividesFootprints(t *testing.T) {
+	full, _ := ByName("BFS", 1)
+	half, _ := ByName("BFS", 2)
+	if half.TouchedBytes*2 > full.TouchedBytes+full.TouchedBytes/10 ||
+		half.TouchedBytes*2 < full.TouchedBytes-full.TouchedBytes/10 {
+		t.Errorf("scale 2 touched %d not ≈ half of %d", half.TouchedBytes, full.TouchedBytes)
+	}
+}
+
+// TestSparsePagesDistinct: the multiplicative scatter must produce distinct
+// pages with no cluster sharing.
+func TestSparsePagesDistinct(t *testing.T) {
+	s, _ := ByName("GUPS", 64)
+	n := s.touchedPages()
+	seenPage := make(map[addr.VirtAddr]bool, n)
+	seenCluster := make(map[uint64]int, n)
+	for i := uint64(0); i < n; i++ {
+		va := s.PageVA(i)
+		if seenPage[va] {
+			t.Fatalf("duplicate sparse page at index %d", i)
+		}
+		seenPage[va] = true
+		seenCluster[pt.ClusterKey(va.PageNumber(addr.Page4K))]++
+	}
+	// Sparse pages should rarely share a cluster (at full scale the
+	// low-discrepancy scatter shares none; small test universes share a
+	// little).
+	shared := 0
+	for _, c := range seenCluster {
+		if c > 1 {
+			shared++
+		}
+	}
+	if float64(shared) > 0.10*float64(len(seenCluster)) {
+		t.Errorf("%d of %d clusters shared; sparse scatter broken", shared, len(seenCluster))
+	}
+}
+
+func TestDensePagesContiguous(t *testing.T) {
+	s, _ := ByName("BFS", 64)
+	for i := uint64(0); i < 100; i++ {
+		want := BaseVA + addr.VirtAddr(i*4096)
+		if got := s.PageVA(i); got != want {
+			t.Fatalf("dense PageVA(%d) = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestTouchedPageVAsCount(t *testing.T) {
+	s, _ := ByName("TC", 64)
+	count := uint64(0)
+	s.TouchedPageVAs(func(va addr.VirtAddr) bool {
+		count++
+		return true
+	})
+	if count != s.touchedPages() {
+		t.Errorf("iterated %d pages, want %d", count, s.touchedPages())
+	}
+	// Early stop.
+	count = 0
+	s.TouchedPageVAs(func(va addr.VirtAddr) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop after %d, want 10", count)
+	}
+}
+
+// TestTraceStaysInTouchedRegion: every trace access must target a touched
+// page (otherwise the timed phase would fault on new pages forever).
+func TestTraceStaysInTouchedRegion(t *testing.T) {
+	for _, name := range []string{"BFS", "GUPS", "SysBench"} {
+		s, _ := ByName(name, 128)
+		touched := make(map[addr.VirtAddr]bool)
+		s.TouchedPageVAs(func(va addr.VirtAddr) bool {
+			touched[va] = true
+			return true
+		})
+		tr := s.NewTrace(1, 50_000)
+		for {
+			va, ok := tr.Next()
+			if !ok {
+				break
+			}
+			page := addr.AlignDown(va, 4*addr.KB)
+			if !touched[page] {
+				t.Fatalf("%s: access %#x outside touched set", name, va)
+			}
+		}
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	s, _ := ByName("PR", 128)
+	a, b := s.NewTrace(9, 1000), s.NewTrace(9, 1000)
+	for {
+		va1, ok1 := a.Next()
+		va2, ok2 := b.Next()
+		if ok1 != ok2 || va1 != va2 {
+			t.Fatal("trace not deterministic")
+		}
+		if !ok1 {
+			break
+		}
+	}
+}
+
+func TestTraceLength(t *testing.T) {
+	s, _ := ByName("CC", 128)
+	tr := s.NewTrace(3, 123)
+	n := 0
+	for {
+		if _, ok := tr.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 123 || tr.Len() != 123 {
+		t.Errorf("trace emitted %d accesses, want 123", n)
+	}
+}
+
+// TestHotSetConcentration: with a high hot fraction, a large share of
+// accesses hits the small hot region.
+func TestHotSetConcentration(t *testing.T) {
+	s, _ := ByName("PR", 128) // HotFraction 0.68
+	hotLimit := BaseVA + addr.VirtAddr(256*addr.KB)
+	tr := s.NewTrace(5, 20_000)
+	hot := 0
+	for {
+		va, ok := tr.Next()
+		if !ok {
+			break
+		}
+		if va < hotLimit {
+			hot++
+		}
+	}
+	frac := float64(hot) / 20000
+	if frac < s.HotFraction-0.1 {
+		t.Errorf("hot-set share %.2f below configured %.2f", frac, s.HotFraction)
+	}
+}
+
+func TestTHPFractionsMatchTableI(t *testing.T) {
+	// Table I: graph kernels see no page-table change under THP; GUPS and
+	// SysBench collapse almost entirely onto huge pages.
+	for _, name := range []string{"BFS", "PR", "TC"} {
+		s, _ := ByName(name, 1)
+		if s.THPFraction != 0 {
+			t.Errorf("%s THPFraction = %v, want 0", name, s.THPFraction)
+		}
+	}
+	for _, name := range []string{"GUPS", "SysBench"} {
+		s, _ := ByName(name, 1)
+		if s.THPFraction != 1 {
+			t.Errorf("%s THPFraction = %v, want 1", name, s.THPFraction)
+		}
+	}
+}

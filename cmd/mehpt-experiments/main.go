@@ -5,17 +5,26 @@
 //
 // -scale 1 is the paper's full configuration (takes minutes); larger scales
 // divide every footprint for quick looks.
+//
+// The run matrix of each experiment fans out over -parallel workers
+// (default: GOMAXPROCS). Results are bit-identical at every worker count:
+// each run derives its RNG seed from its identity, so -parallel only
+// changes wall-clock time, never numbers. -progress prints one line per
+// completed run with its wall-clock duration; -json writes every driver's
+// typed rows to a machine-readable file.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/addr"
 	"repro/internal/experiments"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -26,6 +35,9 @@ func main() {
 		memGB    = flag.Uint64("mem", 64, "simulated physical memory (GB)")
 		fmfi     = flag.Float64("fmfi", 0.7, "ambient memory fragmentation (FMFI)")
 		seed     = flag.Int64("seed", 42, "simulation seed")
+		parallel = flag.Int("parallel", 0, "worker count for independent runs (0 = GOMAXPROCS, 1 = serial)")
+		progress = flag.Bool("progress", true, "print per-run wall-clock timing as the matrix executes")
+		jsonOut  = flag.String("json", "", "write machine-readable results (all experiment rows) to this file")
 	)
 	flag.Parse()
 
@@ -35,53 +47,151 @@ func main() {
 	o.MemBytes = *memGB * addr.GB
 	o.FMFI = *fmfi
 	o.Seed = *seed
+	o.Parallel = *parallel
+	if *progress {
+		// Called concurrently from the worker pool; a single Printf is
+		// atomic enough for line-oriented progress output.
+		o.Progress = func(done, total int, label string, elapsed time.Duration) {
+			fmt.Printf("  [%3d/%3d] %-32s %10s\n", done, total, label,
+				elapsed.Round(time.Millisecond))
+		}
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
 	}
 	all := want["all"]
-	run := func(name string, f func()) {
-		if !all && !want[name] {
+	delete(want, "all")
+	var rec stats.Recorder
+	run := func(name string, f func() any) {
+		known := want[name]
+		delete(want, name) // leftovers are unknown names; reported after the suite
+		if !all && !known {
 			return
 		}
 		start := time.Now()
-		f()
+		rows := f()
+		if rows != nil {
+			rec.Record(name, rows)
+		}
 		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
 	w := os.Stdout
-	fmt.Printf("ME-HPT experiment suite (scale=%d, fmfi=%.1f, mem=%dGB)\n\n",
-		o.Scale, o.FMFI, o.MemBytes/addr.GB)
+	fmt.Printf("ME-HPT experiment suite (scale=%d, fmfi=%.1f, mem=%dGB, parallel=%d)\n\n",
+		o.Scale, o.FMFI, o.MemBytes/addr.GB, *parallel)
 
-	run("table2", func() { experiments.FprintTable2(w, experiments.Table2()) })
-	run("fivelevel", func() {
+	run("table2", func() any {
+		rows := experiments.Table2()
+		experiments.FprintTable2(w, rows)
+		return rows
+	})
+	run("fivelevel", func() any {
 		mo := o
 		if mo.Scale == 1 {
 			mo.Scale = 8 // walk-latency averages converge fast; keep it quick
 		}
 		mo.TimedAccesses = 2_000_000
-		experiments.FprintFiveLevel(w, experiments.FiveLevelMotivation(mo))
+		rows := experiments.FiveLevelMotivation(mo)
+		experiments.FprintFiveLevel(w, rows)
+		return rows
 	})
-	run("virt", func() {
-		experiments.FprintVirtualization(w, experiments.Virtualization(o, 256))
+	run("virt", func() any {
+		rows := experiments.Virtualization(o, 256)
+		experiments.FprintVirtualization(w, rows)
+		return rows
 	})
-	run("alloccost", func() { experiments.FprintAllocCost(w, o.FMFI, experiments.AllocCost(o.FMFI)) })
-	run("frag", func() {
-		experiments.FprintFragmentationStress(w,
-			experiments.RunFragmentationStress(o.MemBytes/8, o.Seed))
+	run("alloccost", func() any {
+		rows := experiments.AllocCost(o.FMFI)
+		experiments.FprintAllocCost(w, o.FMFI, rows)
+		return rows
 	})
-	run("table1", func() { experiments.FprintTable1(w, experiments.Table1(o)) })
-	run("fig8", func() { experiments.FprintFigure8(w, experiments.Figure8(o)) })
-	run("fig10", func() { experiments.FprintFigure10(w, experiments.Figure10(o)) })
-	run("fig11", func() { experiments.FprintFigure11(w, experiments.Figure11(o)) })
-	run("fig12", func() { experiments.FprintFigure12(w, experiments.Figure12(o)) })
-	run("fig13", func() { experiments.FprintFigure13(w, experiments.Figure13(o)) })
-	run("fig14", func() { experiments.FprintFigure14(w, experiments.Figure14(o)) })
-	run("fig15", func() { experiments.FprintFigure15(w, experiments.Figure15(o)) })
-	run("fig16", func() {
+	run("frag", func() any {
+		rows := experiments.RunFragmentationStress(o.MemBytes/8, o.Seed)
+		experiments.FprintFragmentationStress(w, rows)
+		return rows
+	})
+	run("table1", func() any {
+		rows := experiments.Table1(o)
+		experiments.FprintTable1(w, rows)
+		return rows
+	})
+	run("fig8", func() any {
+		rows := experiments.Figure8(o)
+		experiments.FprintFigure8(w, rows)
+		return rows
+	})
+	run("fig10", func() any {
+		rows := experiments.Figure10(o)
+		experiments.FprintFigure10(w, rows)
+		return rows
+	})
+	run("fig11", func() any {
+		rows := experiments.Figure11(o)
+		experiments.FprintFigure11(w, rows)
+		return rows
+	})
+	run("fig12", func() any {
+		rows := experiments.Figure12(o)
+		experiments.FprintFigure12(w, rows)
+		return rows
+	})
+	run("fig13", func() any {
+		rows := experiments.Figure13(o)
+		experiments.FprintFigure13(w, rows)
+		return rows
+	})
+	run("fig14", func() any {
+		rows := experiments.Figure14(o)
+		experiments.FprintFigure14(w, rows)
+		return rows
+	})
+	run("fig15", func() any {
+		rows := experiments.Figure15(o)
+		experiments.FprintFigure15(w, rows)
+		return rows
+	})
+	run("fig16", func() any {
 		rows, mean := experiments.Figure16(o)
 		experiments.FprintFigure16(w, rows, mean)
+		return struct {
+			Rows []experiments.Figure16Row `json:"rows"`
+			Mean float64                   `json:"mean"`
+		}{rows, mean}
 	})
-	run("fig9", func() { experiments.FprintFigure9(w, experiments.Figure9(o)) })
+	run("fig9", func() any {
+		rows := experiments.Figure9(o)
+		experiments.FprintFigure9(w, rows)
+		return rows
+	})
+
+	if len(want) > 0 {
+		var unknown []string
+		for name := range want {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "mehpt-experiments: unknown experiment(s): %s (see -exp in -help)\n",
+			strings.Join(unknown, ", "))
+		os.Exit(1)
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mehpt-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteJSON(f); err == nil {
+			err = f.Close()
+			if err == nil {
+				fmt.Printf("wrote JSON results to %s\n", *jsonOut)
+			}
+		} else {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "mehpt-experiments: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+	}
 }

@@ -24,9 +24,12 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/addr"
 	"repro/internal/mehpt"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -47,6 +50,18 @@ type Options struct {
 	// FMFI is the ambient fragmentation for allocation pricing.
 	FMFI float64
 	Seed int64
+	// Parallel is the worker count for fanning out the independent runs of
+	// each experiment matrix; 0 means GOMAXPROCS, 1 forces serial
+	// execution. Results are bit-identical at every worker count: each run
+	// derives its RNG seed from its identity (runner.DeriveSeed), owns a
+	// private sim.Machine, and is collected in submission order.
+	Parallel int
+	// Progress, if non-nil, is called after every completed run with the
+	// completion count, the matrix size, the run's label, and its
+	// wall-clock duration. It may be called from multiple goroutines
+	// concurrently (the callback must be safe for that, e.g. a single
+	// fmt.Printf).
+	Progress func(done, total int, label string, elapsed time.Duration)
 }
 
 // DefaultOptions returns the paper's configuration (full scale).
@@ -74,43 +89,73 @@ func TestOptions() Options {
 // specs returns the workloads at the configured scale.
 func (o Options) specs() []workload.Spec { return workload.Specs(o.Scale) }
 
-// popConfig builds a population-only sim config.
-func (o Options) popConfig(spec workload.Spec, org sim.Org, thp bool) sim.Config {
-	return sim.Config{
-		Org:      org,
-		Workload: spec,
-		THP:      thp,
-		Accesses: 0,
+// runJob is one unit of an experiment matrix: a fully-described simulation
+// run. The identity fields (spec name, org, THP, ablation) feed the per-job
+// seed derivation, so a job's results depend only on what it is — never on
+// where in the matrix it sits or which worker executes it.
+type runJob struct {
+	spec     workload.Spec
+	org      sim.Org
+	thp      bool
+	ablation string        // "" for the full design
+	mcfg     *mehpt.Config // optional ME-HPT ablation override (read-only, nil Rand)
+	timed    bool          // run the timed trace after population
+}
+
+// label names the job in progress output and failure maps.
+func (j runJob) label() string {
+	l := j.spec.Name + "/" + j.org.String()
+	if j.thp {
+		l += "+THP"
+	}
+	if j.ablation != "" {
+		l += "/" + j.ablation
+	}
+	return l
+}
+
+// pop builds a population job.
+func pop(spec workload.Spec, org sim.Org, thp bool) runJob {
+	return runJob{spec: spec, org: org, thp: thp}
+}
+
+// run fans the job matrix out over the configured worker pool and returns
+// results in submission order. Every job builds its own sim.Machine (and
+// therefore its own page tables and RNGs) inside the worker — the ownership
+// rule that keeps the pool race-free; see package runner.
+func (o Options) run(jobs []runJob) []sim.Result {
+	var done atomic.Int64
+	return runner.Map(o.Parallel, jobs, func(_ int, j runJob) sim.Result {
+		start := time.Now()
+		r := o.exec(j)
+		if o.Progress != nil {
+			o.Progress(int(done.Add(1)), len(jobs), j.label(), time.Since(start))
+		}
+		return r
+	})
+}
+
+// exec executes one job: build the machine, price allocations at the
+// ambient FMFI, populate, and optionally run the timed trace.
+func (o Options) exec(j runJob) sim.Result {
+	cfg := sim.Config{
+		Org:      j.org,
+		Workload: j.spec,
+		THP:      j.thp,
 		Populate: true,
-		Seed:     o.Seed,
+		Seed:     runner.DeriveSeed(o.Seed, j.spec.Name, j.org.String(), j.thp, j.ablation),
 		MemBytes: o.MemBytes,
 		// Ambient pricing only; see the package comment.
 		FMFI:         0, // no physical shredding
 		FreeFraction: 0.35,
+		MEHPTConfig:  j.mcfg,
 	}
-}
-
-// populate runs a population-only simulation and prices allocations at the
-// configured ambient FMFI.
-func (o Options) populate(spec workload.Spec, org sim.Org, thp bool, mcfg *mehpt.Config) sim.Result {
-	cfg := o.popConfig(spec, org, thp)
-	cfg.MEHPTConfig = mcfg
+	if j.timed {
+		cfg.Accesses = o.TimedAccesses
+	}
 	m, err := sim.NewMachine(cfg)
 	if err != nil {
-		return sim.Result{Org: org, Workload: spec.Name, THP: thp,
-			Failed: true, FailReason: err.Error()}
-	}
-	m.SetAmbientFMFI(o.FMFI)
-	return m.Run()
-}
-
-// timed runs populate followed by a timed trace.
-func (o Options) timed(spec workload.Spec, org sim.Org, thp bool) sim.Result {
-	cfg := o.popConfig(spec, org, thp)
-	cfg.Accesses = o.TimedAccesses
-	m, err := sim.NewMachine(cfg)
-	if err != nil {
-		return sim.Result{Org: org, Workload: spec.Name, THP: thp,
+		return sim.Result{Org: j.org, Workload: j.spec.Name, THP: j.thp,
 			Failed: true, FailReason: err.Error()}
 	}
 	m.SetAmbientFMFI(o.FMFI)

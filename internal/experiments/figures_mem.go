@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/addr"
@@ -21,16 +22,26 @@ type Figure8Row struct {
 }
 
 // Figure8 measures the maximum contiguous page-table allocation of ECPT vs
-// ME-HPT, with and without THP.
+// ME-HPT, with and without THP. The 4-runs-per-app matrix fans out over the
+// worker pool.
 func Figure8(o Options) []Figure8Row {
-	rows := make([]Figure8Row, 0, 11)
-	for _, spec := range o.specs() {
+	specs := o.specs()
+	var jobs []runJob
+	for _, spec := range specs {
+		jobs = append(jobs,
+			pop(spec, sim.ECPT, false), pop(spec, sim.ECPT, true),
+			pop(spec, sim.MEHPT, false), pop(spec, sim.MEHPT, true))
+	}
+	res := o.run(jobs)
+	rows := make([]Figure8Row, 0, len(specs))
+	for i, spec := range specs {
+		r := res[i*4 : i*4+4]
 		rows = append(rows, Figure8Row{
 			App:      spec.Name,
-			ECPT:     o.populate(spec, sim.ECPT, false, nil).MaxContiguous,
-			ECPTTHP:  o.populate(spec, sim.ECPT, true, nil).MaxContiguous,
-			MEHPT:    o.populate(spec, sim.MEHPT, false, nil).MaxContiguous,
-			MEHPTTHP: o.populate(spec, sim.MEHPT, true, nil).MaxContiguous,
+			ECPT:     r[0].MaxContiguous,
+			ECPTTHP:  r[1].MaxContiguous,
+			MEHPT:    r[2].MaxContiguous,
+			MEHPTTHP: r[3].MaxContiguous,
 		})
 	}
 	return rows
@@ -67,36 +78,43 @@ type Figure10Row struct {
 }
 
 // Figure10 runs the two single-technique ablations to split the reduction.
+// The ablation configs are shared read-only across jobs (nil Rand; each
+// machine creates its own RNG from the job's derived seed).
 func Figure10(o Options) []Figure10Row {
-	var rows []Figure10Row
+	ipOnly := mehpt.DefaultConfig(uint64(o.Seed))
+	ipOnly.PerWay = false
+	ipOnly.WeightedInsert = false
+	pwOnly := mehpt.DefaultConfig(uint64(o.Seed))
+	pwOnly.InPlace = false
+
+	specs := o.specs()
+	var jobs []runJob
 	for _, thp := range []bool{false, true} {
-		for _, spec := range o.specs() {
-			base := o.populate(spec, sim.ECPT, thp, nil)
-			full := o.populate(spec, sim.MEHPT, thp, nil)
-
-			ipOnly := mehpt.DefaultConfig(uint64(o.Seed))
-			ipOnly.PerWay = false
-			ipOnly.WeightedInsert = false
-			ip := o.populate(spec, sim.MEHPT, thp, &ipOnly)
-
-			pwOnly := mehpt.DefaultConfig(uint64(o.Seed))
-			pwOnly.InPlace = false
-			pw := o.populate(spec, sim.MEHPT, thp, &pwOnly)
-
-			row := Figure10Row{App: spec.Name, THP: thp,
-				ECPTPeak: base.PTPeakBytes, MEHPTPeak: full.PTPeakBytes}
-			if base.PTPeakBytes > full.PTPeakBytes {
-				row.AbsoluteBytes = base.PTPeakBytes - full.PTPeakBytes
-				row.ReductionPct = float64(row.AbsoluteBytes) / float64(base.PTPeakBytes) * 100
-			}
-			rIP := signedSub(base.PTPeakBytes, ip.PTPeakBytes)
-			rPW := signedSub(base.PTPeakBytes, pw.PTPeakBytes)
-			if rIP+rPW > 0 {
-				row.InPlaceSharePct = rIP / (rIP + rPW) * 100
-				row.PerWaySharePct = rPW / (rIP + rPW) * 100
-			}
-			rows = append(rows, row)
+		for _, spec := range specs {
+			jobs = append(jobs,
+				pop(spec, sim.ECPT, thp),
+				pop(spec, sim.MEHPT, thp),
+				runJob{spec: spec, org: sim.MEHPT, thp: thp, ablation: "ip-only", mcfg: &ipOnly},
+				runJob{spec: spec, org: sim.MEHPT, thp: thp, ablation: "pw-only", mcfg: &pwOnly})
 		}
+	}
+	res := o.run(jobs)
+	var rows []Figure10Row
+	for i := 0; i*4 < len(res); i++ {
+		base, full, ip, pw := res[i*4], res[i*4+1], res[i*4+2], res[i*4+3]
+		row := Figure10Row{App: base.Workload, THP: base.THP,
+			ECPTPeak: base.PTPeakBytes, MEHPTPeak: full.PTPeakBytes}
+		if base.PTPeakBytes > full.PTPeakBytes {
+			row.AbsoluteBytes = base.PTPeakBytes - full.PTPeakBytes
+			row.ReductionPct = float64(row.AbsoluteBytes) / float64(base.PTPeakBytes) * 100
+		}
+		rIP := signedSub(base.PTPeakBytes, ip.PTPeakBytes)
+		rPW := signedSub(base.PTPeakBytes, pw.PTPeakBytes)
+		if rIP+rPW > 0 {
+			row.InPlaceSharePct = rIP / (rIP + rPW) * 100
+			row.PerWaySharePct = rPW / (rIP + rPW) * 100
+		}
+		rows = append(rows, row)
 	}
 	return rows
 }
@@ -136,16 +154,31 @@ type Figure11Row struct {
 	WaysTHP []uint64
 }
 
+// mehptPopulations fans out the (ME-HPT, ±THP) populate matrix shared by
+// Figures 11–14: one no-THP and one THP result per application.
+func (o Options) mehptPopulations() (specs []workload.Spec, no, thp []sim.Result) {
+	specs = o.specs()
+	var jobs []runJob
+	for _, spec := range specs {
+		jobs = append(jobs, pop(spec, sim.MEHPT, false), pop(spec, sim.MEHPT, true))
+	}
+	res := o.run(jobs)
+	for i := range specs {
+		no = append(no, res[i*2])
+		thp = append(thp, res[i*2+1])
+	}
+	return specs, no, thp
+}
+
 // Figure11 reads the per-way upsize counters off populated ME-HPTs.
 func Figure11(o Options) []Figure11Row {
-	rows := make([]Figure11Row, 0, 11)
-	for _, spec := range o.specs() {
-		no := o.populate(spec, sim.MEHPT, false, nil)
-		thp := o.populate(spec, sim.MEHPT, true, nil)
+	specs, no, thp := o.mehptPopulations()
+	rows := make([]Figure11Row, 0, len(specs))
+	for i, spec := range specs {
 		rows = append(rows, Figure11Row{
 			App:     spec.Name,
-			Ways:    upsizes(no.MEHPT, addr.Page4K),
-			WaysTHP: upsizes(thp.MEHPT, addr.Page4K),
+			Ways:    upsizes(no[i].MEHPT, addr.Page4K),
+			WaysTHP: upsizes(thp[i].MEHPT, addr.Page4K),
 		})
 	}
 	return rows
@@ -169,14 +202,13 @@ type Figure12Row struct {
 
 // Figure12 reads way sizes off populated ME-HPTs.
 func Figure12(o Options) []Figure12Row {
-	rows := make([]Figure12Row, 0, 11)
-	for _, spec := range o.specs() {
-		no := o.populate(spec, sim.MEHPT, false, nil)
-		thp := o.populate(spec, sim.MEHPT, true, nil)
+	specs, no, thp := o.mehptPopulations()
+	rows := make([]Figure12Row, 0, len(specs))
+	for i, spec := range specs {
 		rows = append(rows, Figure12Row{
 			App:         spec.Name,
-			WayBytes:    waySizesBytes(no.MEHPT, addr.Page4K),
-			WayBytesTHP: waySizesBytes(thp.MEHPT, addr.Page4K),
+			WayBytes:    waySizesBytes(no[i].MEHPT, addr.Page4K),
+			WayBytesTHP: waySizesBytes(thp[i].MEHPT, addr.Page4K),
 		})
 	}
 	return rows
@@ -241,15 +273,14 @@ type Figure14Row struct {
 
 // Figure14 reads L2P usage off populated ME-HPTs.
 func Figure14(o Options) []Figure14Row {
-	rows := make([]Figure14Row, 0, 11)
-	for _, spec := range o.specs() {
-		no := o.populate(spec, sim.MEHPT, false, nil)
-		thp := o.populate(spec, sim.MEHPT, true, nil)
+	specs, no, thp := o.mehptPopulations()
+	rows := make([]Figure14Row, 0, len(specs))
+	for i, spec := range specs {
 		rows = append(rows, Figure14Row{
 			App:     spec.Name,
-			Used:    no.MEHPT.L2P().TotalUsed(),
-			UsedTHP: thp.MEHPT.L2P().TotalUsed(),
-			Peak:    no.MEHPT.L2P().PeakUsed(),
+			Used:    no[i].MEHPT.L2P().TotalUsed(),
+			UsedTHP: thp[i].MEHPT.L2P().TotalUsed(),
+			Peak:    no[i].MEHPT.L2P().PeakUsed(),
 		})
 	}
 	return rows
@@ -280,22 +311,28 @@ type Figure15Row struct {
 // GraphBIG inputs translate to ≈9.3KB of touched memory per graph node.
 func Figure15(o Options) []Figure15Row {
 	const bytesPerNode = 9525 // ≈9.3KB; 1M nodes → 9.3GB (Table I)
-	var rows []Figure15Row
-	for _, nodes := range []uint64{1000, 10_000, 100_000} {
+	oneMB := mehpt.DefaultConfig(uint64(o.Seed))
+	oneMB.Ladder = []uint64{1 * addr.MB, 8 * addr.MB, 64 * addr.MB}
+
+	sizes := []uint64{1000, 10_000, 100_000}
+	var jobs []runJob
+	for _, nodes := range sizes {
 		touched := nodes * bytesPerNode / o.Scale
 		if touched < 64*addr.KB {
 			touched = 64 * addr.KB
 		}
 		spec := workload.Spec{
-			Name: "graph-scaled", DataBytes: touched, TouchedBytes: touched,
+			Name: fmt.Sprintf("graph-%d", nodes), DataBytes: touched, TouchedBytes: touched,
 			Kind: workload.Dense, SeqFraction: 0.5,
 		}
-		def := o.populate(spec, sim.MEHPT, false, nil)
-
-		oneMB := mehpt.DefaultConfig(uint64(o.Seed))
-		oneMB.Ladder = []uint64{1 * addr.MB, 8 * addr.MB, 64 * addr.MB}
-		one := o.populate(spec, sim.MEHPT, false, &oneMB)
-
+		jobs = append(jobs,
+			pop(spec, sim.MEHPT, false),
+			runJob{spec: spec, org: sim.MEHPT, ablation: "1mb-only", mcfg: &oneMB})
+	}
+	res := o.run(jobs)
+	rows := make([]Figure15Row, 0, len(sizes))
+	for i, nodes := range sizes {
+		def, one := res[i*2], res[i*2+1]
 		rows = append(rows, Figure15Row{
 			GraphNodes:   nodes,
 			Way1MBOnly:   avgWayFootprint(one.MEHPT, addr.Page4K),

@@ -24,34 +24,45 @@ type Figure9Row struct {
 // Figure9 runs the timed performance comparison. Each configuration
 // populates the full-scale footprint (charging page-table allocation and
 // movement) and then executes the timed trace; speedups compare composed
-// cycles (see perfCycles).
+// cycles (see perfCycles). The 66-run matrix (11 apps × 3 orgs × ±THP) is
+// the suite's dominant cost and fans out over the worker pool.
 func Figure9(o Options) []Figure9Row {
-	rows := make([]Figure9Row, 0, 11)
-	for _, spec := range o.specs() {
+	specs := o.specs()
+	var jobs []runJob
+	for _, spec := range specs {
+		for _, thp := range []bool{false, true} {
+			for _, org := range []sim.Org{sim.Radix, sim.ECPT, sim.MEHPT} {
+				jobs = append(jobs, runJob{spec: spec, org: org, thp: thp, timed: true})
+			}
+		}
+	}
+	res := o.run(jobs)
+	rows := make([]Figure9Row, 0, len(specs))
+	for i, spec := range specs {
 		row := Figure9Row{App: spec.Name, Failed: map[string]string{}}
-		cyc := func(org sim.Org, thp bool, label string) float64 {
-			r := o.timed(spec, org, thp)
+		cyc := func(k int, label string) float64 {
+			r := res[i*6+k]
 			if r.Failed {
 				row.Failed[label] = r.FailReason
 				return 0
 			}
 			return float64(perfCycles(r))
 		}
-		base := cyc(sim.Radix, false, "Radix")
+		base := cyc(0, "Radix")
 		row.Radix = 1
-		if e := cyc(sim.ECPT, false, "ECPT"); e > 0 {
+		if e := cyc(1, "ECPT"); e > 0 {
 			row.ECPT = base / e
 		}
-		if m := cyc(sim.MEHPT, false, "ME-HPT"); m > 0 {
+		if m := cyc(2, "ME-HPT"); m > 0 {
 			row.MEHPT = base / m
 		}
-		if r := cyc(sim.Radix, true, "Radix+THP"); r > 0 {
+		if r := cyc(3, "Radix+THP"); r > 0 {
 			row.RadixTHP = base / r
 		}
-		if e := cyc(sim.ECPT, true, "ECPT+THP"); e > 0 {
+		if e := cyc(4, "ECPT+THP"); e > 0 {
 			row.ECPTTHP = base / e
 		}
-		if m := cyc(sim.MEHPT, true, "ME-HPT+THP"); m > 0 {
+		if m := cyc(5, "ME-HPT+THP"); m > 0 {
 			row.MEHPTTHP = base / m
 		}
 		rows = append(rows, row)
@@ -100,14 +111,13 @@ type Figure13Row struct {
 
 // Figure13 reads move fractions off populated ME-HPTs.
 func Figure13(o Options) []Figure13Row {
-	rows := make([]Figure13Row, 0, 11)
-	for _, spec := range o.specs() {
-		no := o.populate(spec, sim.MEHPT, false, nil)
-		thp := o.populate(spec, sim.MEHPT, true, nil)
+	specs, no, thp := o.mehptPopulations()
+	rows := make([]Figure13Row, 0, len(specs))
+	for i, spec := range specs {
 		rows = append(rows, Figure13Row{
 			App:         spec.Name,
-			Fraction:    moveFraction(no),
-			FractionTHP: moveFraction(thp),
+			Fraction:    moveFraction(no[i]),
+			FractionTHP: moveFraction(thp[i]),
 		})
 	}
 	return rows
@@ -158,9 +168,12 @@ type Figure16Row struct {
 
 // Figure16 pools the re-insertion histograms of all populated ME-HPTs.
 func Figure16(o Options) ([]Figure16Row, float64) {
-	var pooled stats.Histogram
+	var jobs []runJob
 	for _, spec := range o.specs() {
-		r := o.populate(spec, sim.MEHPT, false, nil)
+		jobs = append(jobs, pop(spec, sim.MEHPT, false))
+	}
+	var pooled stats.Histogram
+	for _, r := range o.run(jobs) {
 		if r.MEHPT == nil {
 			continue
 		}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/mmu"
 	"repro/internal/phys"
 	"repro/internal/radix"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -25,22 +26,46 @@ type FiveLevelRow struct {
 }
 
 // FiveLevelMotivation measures average walk latency for 4-level radix,
-// 5-level radix, and ME-HPT on TLB-missing streams.
+// 5-level radix, and ME-HPT on TLB-missing streams. The three walker
+// variants per application are independent runs and fan out over the pool.
 func FiveLevelMotivation(o Options, apps ...string) []FiveLevelRow {
 	if len(apps) == 0 {
 		apps = []string{"BFS", "GUPS"}
 	}
-	var rows []FiveLevelRow
+	type walkJob struct {
+		app  string
+		spec workload.Spec
+		kind string // "radix4", "radix5", "hpt"
+	}
+	var jobs []walkJob
 	for _, app := range apps {
 		spec, err := workload.ByName(app, o.Scale)
 		if err != nil {
 			continue
 		}
-		row := FiveLevelRow{App: app}
-		row.Radix4Cycles = walkAvgRadix(o, spec, 4)
-		row.Radix5Cycles = walkAvgRadix(o, spec, 5)
-		row.HPTCycles = walkAvgHPT(o, spec)
-		rows = append(rows, row)
+		for _, kind := range []string{"radix4", "radix5", "hpt"} {
+			jobs = append(jobs, walkJob{app: app, spec: spec, kind: kind})
+		}
+	}
+	avgs := runner.Map(o.Parallel, jobs, func(_ int, j walkJob) float64 {
+		seed := runner.DeriveSeed(o.Seed, j.app, j.kind, false, "motivation")
+		switch j.kind {
+		case "radix4":
+			return walkAvgRadix(o, j.spec, 4, seed)
+		case "radix5":
+			return walkAvgRadix(o, j.spec, 5, seed)
+		default:
+			return walkAvgHPT(o, j.spec, seed)
+		}
+	})
+	var rows []FiveLevelRow
+	for i := 0; i*3 < len(jobs); i++ {
+		rows = append(rows, FiveLevelRow{
+			App:          jobs[i*3].app,
+			Radix4Cycles: avgs[i*3],
+			Radix5Cycles: avgs[i*3+1],
+			HPTCycles:    avgs[i*3+2],
+		})
 	}
 	return rows
 }
@@ -74,7 +99,7 @@ func driveWalks(m mmu.MMU, mapPage func(va addr.VirtAddr) error, spec workload.S
 	return float64(st.WalkCycles) / float64(st.Walks)
 }
 
-func walkAvgRadix(o Options, spec workload.Spec, levels int) float64 {
+func walkAvgRadix(o Options, spec workload.Spec, levels int, seed int64) float64 {
 	mem := phys.NewMemory(o.MemBytes)
 	alloc := phys.NewAllocator(mem, 0)
 	pt, err := radix.NewPageTableLevels(alloc, levels)
@@ -87,14 +112,14 @@ func walkAvgRadix(o Options, spec workload.Spec, levels int) float64 {
 		next++
 		_, err := pt.Map(va.PageNumber(addr.Page4K), addr.Page4K, next)
 		return err
-	}, spec, o.TimedAccesses, o.Seed)
+	}, spec, o.TimedAccesses, seed)
 }
 
-func walkAvgHPT(o Options, spec workload.Spec) float64 {
+func walkAvgHPT(o Options, spec workload.Spec, seed int64) float64 {
 	mem := phys.NewMemory(o.MemBytes)
 	alloc := phys.NewAllocator(mem, 0)
-	cfg := mehpt.DefaultConfig(uint64(o.Seed))
-	cfg.Rand = rand.New(rand.NewSource(o.Seed))
+	cfg := mehpt.DefaultConfig(uint64(seed))
+	cfg.Rand = rand.New(rand.NewSource(seed))
 	pt, err := mehpt.NewPageTable(alloc, cfg)
 	if err != nil {
 		return 0
@@ -105,7 +130,7 @@ func walkAvgHPT(o Options, spec workload.Spec) float64 {
 		next++
 		_, err := pt.Map(va.PageNumber(addr.Page4K), addr.Page4K, next)
 		return err
-	}, spec, o.TimedAccesses, o.Seed)
+	}, spec, o.TimedAccesses, seed)
 }
 
 // FprintFiveLevel renders the motivation numbers.

@@ -32,13 +32,18 @@ type Table1Row struct {
 // Table1 reproduces Table I by populating radix and ECPT page tables with
 // each workload's touched footprint, with and without THP.
 func Table1(o Options) []Table1Row {
-	rows := make([]Table1Row, 0, 11)
-	for _, spec := range o.specs() {
+	specs := o.specs()
+	var jobs []runJob
+	for _, spec := range specs {
+		jobs = append(jobs,
+			pop(spec, sim.Radix, false), pop(spec, sim.Radix, true),
+			pop(spec, sim.ECPT, false), pop(spec, sim.ECPT, true))
+	}
+	res := o.run(jobs)
+	rows := make([]Table1Row, 0, len(specs))
+	for i, spec := range specs {
 		row := Table1Row{App: spec.Name, DataBytes: spec.DataBytes, TouchedBytes: spec.TouchedBytes}
-		tree := o.populate(spec, sim.Radix, false, nil)
-		treeTHP := o.populate(spec, sim.Radix, true, nil)
-		ec := o.populate(spec, sim.ECPT, false, nil)
-		ecTHP := o.populate(spec, sim.ECPT, true, nil)
+		tree, treeTHP, ec, ecTHP := res[i*4], res[i*4+1], res[i*4+2], res[i*4+3]
 		for _, r := range []sim.Result{tree, treeTHP, ec, ecTHP} {
 			if r.Failed {
 				row.Failed = true

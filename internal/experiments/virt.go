@@ -10,6 +10,7 @@ import (
 	"repro/internal/nested"
 	"repro/internal/phys"
 	"repro/internal/radix"
+	"repro/internal/runner"
 )
 
 // VirtRow compares two-dimensional (virtualized) walks: nested radix vs
@@ -70,12 +71,19 @@ func Virtualization(o Options, pages int) []VirtRow {
 		return m
 	}
 
-	var rows []VirtRow
-	for _, cfg := range []struct {
+	configs := []struct {
 		name   string
 		hashed bool
-	}{{"nested radix (2D tree)", false}, {"nested ME-HPT", true}} {
-		m := build(cfg.hashed)
+	}{{"nested radix (2D tree)", false}, {"nested ME-HPT", true}}
+	built := runner.Map(o.Parallel, configs, func(_ int, cfg struct {
+		name   string
+		hashed bool
+	}) *nested.MMU {
+		return build(cfg.hashed)
+	})
+	var rows []VirtRow
+	for i, cfg := range configs {
+		m := built[i]
 		if m == nil {
 			continue
 		}

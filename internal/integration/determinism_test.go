@@ -1,0 +1,76 @@
+package integration
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestSerialParallelEquivalence proves the parallel runner's determinism
+// contract end-to-end: the same experiment matrix run with 1 worker and
+// with 8 workers must produce byte-identical result rows. It exercises
+// population-only drivers (Figure 8, Table 1), the ME-HPT-internals readers
+// (Figure 13), and a timed-trace driver (Figure 9) so both the populate
+// path and the trace path are covered.
+func TestSerialParallelEquivalence(t *testing.T) {
+	base := experiments.TestOptions()
+	base.TimedAccesses = 30_000
+
+	type outputs struct {
+		fig8   []experiments.Figure8Row
+		fig13  []experiments.Figure13Row
+		table1 []experiments.Table1Row
+		fig9   []experiments.Figure9Row
+		text   string
+	}
+	render := func(parallel int) outputs {
+		o := base
+		o.Parallel = parallel
+		out := outputs{
+			fig8:   experiments.Figure8(o),
+			fig13:  experiments.Figure13(o),
+			table1: experiments.Table1(o),
+		}
+		if !testing.Short() {
+			out.fig9 = experiments.Figure9(o)
+		}
+		var sb strings.Builder
+		experiments.FprintFigure8(&sb, out.fig8)
+		experiments.FprintFigure13(&sb, out.fig13)
+		experiments.FprintTable1(&sb, out.table1)
+		if out.fig9 != nil {
+			experiments.FprintFigure9(&sb, out.fig9)
+		}
+		out.text = sb.String()
+		return out
+	}
+
+	serial := render(1)
+	parallel := render(8)
+
+	if !reflect.DeepEqual(serial.fig8, parallel.fig8) {
+		t.Errorf("Figure 8 rows diverge between -parallel 1 and -parallel 8:\nserial:   %+v\nparallel: %+v",
+			serial.fig8, parallel.fig8)
+	}
+	if !reflect.DeepEqual(serial.fig13, parallel.fig13) {
+		t.Errorf("Figure 13 rows diverge:\nserial:   %+v\nparallel: %+v", serial.fig13, parallel.fig13)
+	}
+	if !reflect.DeepEqual(serial.table1, parallel.table1) {
+		t.Errorf("Table 1 rows diverge:\nserial:   %+v\nparallel: %+v", serial.table1, parallel.table1)
+	}
+	if !reflect.DeepEqual(serial.fig9, parallel.fig9) {
+		t.Errorf("Figure 9 rows diverge:\nserial:   %+v\nparallel: %+v", serial.fig9, parallel.fig9)
+	}
+	if serial.text != parallel.text {
+		t.Error("rendered output is not byte-identical between worker counts")
+		a, b := strings.Split(serial.text, "\n"), strings.Split(parallel.text, "\n")
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Errorf("first diverging line %d:\nserial:   %q\nparallel: %q", i, a[i], b[i])
+				break
+			}
+		}
+	}
+}

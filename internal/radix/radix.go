@@ -131,6 +131,14 @@ func (p *PageTable) MaxContiguousAlloc() uint64 { return p.stats.MaxContiguousAl
 // AllocCycles returns the cycles spent allocating tree nodes.
 func (p *PageTable) AllocCycles() uint64 { return p.stats.AllocCycles }
 
+// Moves returns the number of page-table entries relocated by the
+// organization — always 0 for radix, by construction: a PTE's slot is fixed
+// by its virtual address (the radix indices), the tree grows by allocating
+// fresh nodes without touching existing entries, and there is no rehashing.
+// Hashed organizations report nonzero counts here because elastic resizing
+// migrates entries between tables (sim.Result.PTMoves, Figure 13).
+func (p *PageTable) Moves() uint64 { return 0 }
+
 // Map installs vpn→ppn at the given page size, allocating intermediate
 // nodes as needed. It returns the allocation cycle cost.
 func (p *PageTable) Map(vpn addr.VPN, s addr.PageSize, ppn addr.PPN) (uint64, error) {

@@ -1,0 +1,176 @@
+package runner_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestMapPreservesSubmissionOrder: results land at their job's index no
+// matter which worker finishes first.
+func TestMapPreservesSubmissionOrder(t *testing.T) {
+	jobs := make([]int, 500)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, 64} {
+		got := runner.Map(workers, jobs, func(i, j int) int {
+			if i != j {
+				t.Errorf("do(%d) received job %d", i, j)
+			}
+			return j * 3
+		})
+		for i, r := range got {
+			if r != i*3 {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, r, i*3)
+			}
+		}
+	}
+}
+
+// TestMapRunsEveryJobOnce: the work-stealing cursor must claim each index
+// exactly once even under heavy contention (run with -race).
+func TestMapRunsEveryJobOnce(t *testing.T) {
+	const n = 10_000
+	var calls [n]atomic.Int32
+	jobs := make([]struct{}, n)
+	runner.Map(32, jobs, func(i int, _ struct{}) struct{} {
+		calls[i].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if c := calls[i].Load(); c != 1 {
+			t.Fatalf("job %d executed %d times", i, c)
+		}
+	}
+}
+
+// TestMapEmptyAndSingle: degenerate inputs.
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got := runner.Map(8, nil, func(i int, j int) int { return j }); len(got) != 0 {
+		t.Fatalf("empty jobs produced %d results", len(got))
+	}
+	got := runner.Map(8, []int{41}, func(i, j int) int { return j + 1 })
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("single job: %v", got)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if runner.Workers(3) != 3 {
+		t.Error("explicit worker count not honoured")
+	}
+	if runner.Workers(0) < 1 || runner.Workers(-1) < 1 {
+		t.Error("default worker count must be at least 1")
+	}
+}
+
+// TestDeriveSeed: same identity → same seed; any single-field change →
+// different seed; field boundaries are separated.
+func TestDeriveSeed(t *testing.T) {
+	base := runner.DeriveSeed(42, "BFS", "ME-HPT", false, "")
+	if base != runner.DeriveSeed(42, "BFS", "ME-HPT", false, "") {
+		t.Error("DeriveSeed not deterministic")
+	}
+	variants := []int64{
+		runner.DeriveSeed(43, "BFS", "ME-HPT", false, ""),
+		runner.DeriveSeed(42, "GUPS", "ME-HPT", false, ""),
+		runner.DeriveSeed(42, "BFS", "ECPT", false, ""),
+		runner.DeriveSeed(42, "BFS", "ME-HPT", true, ""),
+		runner.DeriveSeed(42, "BFS", "ME-HPT", false, "ip-only"),
+		// Field-boundary ambiguity: content split differently across fields.
+		runner.DeriveSeed(42, "BFSM", "E-HPT", false, ""),
+	}
+	seen := map[int64]bool{base: true}
+	for i, v := range variants {
+		if seen[v] {
+			t.Errorf("variant %d collides with a previous seed", i)
+		}
+		seen[v] = true
+	}
+}
+
+// simSummary is the comparable subset of sim.Result (the full struct carries
+// organization-specific pointers that differ between runs by identity).
+type simSummary struct {
+	Org          sim.Org
+	Workload     string
+	THP          bool
+	Failed       bool
+	Cycles       uint64
+	Accesses     uint64
+	OSCycles     uint64
+	PTPeakBytes  uint64
+	PTFinalBytes uint64
+	PTMoves      uint64
+}
+
+func summarize(r sim.Result) simSummary {
+	return simSummary{
+		Org: r.Org, Workload: r.Workload, THP: r.THP, Failed: r.Failed,
+		Cycles: r.Cycles, Accesses: r.Accesses, OSCycles: r.OSCycles,
+		PTPeakBytes: r.PTPeakBytes, PTFinalBytes: r.PTFinalBytes,
+		PTMoves: r.PTMoves,
+	}
+}
+
+// matrix builds a small but genuine slice of the paper's run matrix: three
+// workloads × three organizations × THP off/on, populate-only.
+func matrix(t *testing.T) []sim.Config {
+	t.Helper()
+	var cfgs []sim.Config
+	for _, app := range []string{"BFS", "GUPS", "MUMmer"} {
+		spec, err := workload.ByName(app, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, org := range []sim.Org{sim.Radix, sim.ECPT, sim.MEHPT} {
+			for _, thp := range []bool{false, true} {
+				cfgs = append(cfgs, sim.Config{
+					Org: org, Workload: spec, THP: thp,
+					Populate: true, Accesses: 20_000,
+					Seed:     runner.DeriveSeed(42, app, org.String(), thp, ""),
+					MemBytes: 2 * addr.GB,
+				})
+			}
+		}
+	}
+	return cfgs
+}
+
+// TestSimMatrixDeterministicAcrossWorkerCounts: the same job list must
+// produce identical results at every worker count. Run under -race this also
+// audits the sim/table ownership boundary: each job builds its own machine
+// and RNGs, so no write may be visible across workers.
+func TestSimMatrixDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfgs := matrix(t)
+	run := func(workers int) []simSummary {
+		rs := runner.Map(workers, cfgs, func(_ int, cfg sim.Config) sim.Result {
+			return sim.Run(cfg)
+		})
+		out := make([]simSummary, len(rs))
+		for i, r := range rs {
+			out[i] = summarize(r)
+		}
+		return out
+	}
+	want := run(1)
+	for _, r := range want {
+		if r.Failed {
+			t.Fatalf("%s/%v/THP=%v failed", r.Workload, r.Org, r.THP)
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d job %d diverges:\n got %+v\nwant %+v",
+					workers, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/workload"
+)
+
+// TestPTMovesSemantics pins Result.PTMoves for all three organizations:
+// radix never relocates entries (a PTE's slot is fixed by its VA; growth
+// allocates fresh nodes), while both hashed organizations report the
+// entries migrated by elastic resizing. The workload scale is chosen so the
+// hashed tables upsize several times past their 384-slot initial capacity.
+func TestPTMovesSemantics(t *testing.T) {
+	spec, err := workload.ByName("BFS", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := map[Org]Result{}
+	for _, org := range []Org{Radix, ECPT, MEHPT} {
+		r := Run(Config{
+			Org: org, Workload: spec, Populate: true,
+			Seed: 11, MemBytes: 2 * addr.GB,
+		})
+		if r.Failed {
+			t.Fatalf("%v failed: %s", org, r.FailReason)
+		}
+		results[org] = r
+	}
+	if got := results[Radix].PTMoves; got != 0 {
+		t.Errorf("radix PTMoves = %d, want 0 (entries never relocate)", got)
+	}
+	if got := results[ECPT].PTMoves; got == 0 {
+		t.Error("ECPT PTMoves = 0, want > 0 (gradual rehash migrates entries)")
+	}
+	if got := results[MEHPT].PTMoves; got == 0 {
+		t.Error("ME-HPT PTMoves = 0, want > 0 (in-place upsizes move ~half the entries)")
+	}
+
+	// The ME-HPT count must agree with the tables' own movement statistics.
+	var tableMoves uint64
+	for _, s := range addr.Sizes() {
+		if tbl := results[MEHPT].MEHPT.Table(s); tbl != nil {
+			tableMoves += tbl.Stats().MovesTotal
+		}
+	}
+	if got := results[MEHPT].PTMoves; got != tableMoves {
+		t.Errorf("ME-HPT PTMoves = %d, tables report %d", got, tableMoves)
+	}
+}

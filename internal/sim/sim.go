@@ -9,6 +9,20 @@
 // including the contiguous-allocation cycle costs at the configured memory
 // fragmentation. Absolute cycle counts are not meaningful — only the
 // relative comparison between page-table organizations is (Figure 9).
+//
+// # Concurrency and RNG ownership
+//
+// A Machine is confined to the goroutine that runs it: the page tables it
+// wires up (mehpt, ecpt, cuckoo) hold *rand.Rand instances, which are not
+// safe for concurrent use. Machines themselves are fully independent —
+// NewMachine builds every mutable component (memory, allocator, OS, MMU,
+// page table, RNGs) privately from Config, deriving all randomness from
+// Config.Seed — so the parallel experiment runner (internal/runner) may run
+// any number of Machines on different goroutines concurrently. The one
+// sharp edge is Config.MEHPTConfig: NewMachine copies the struct, and when
+// its Rand field is nil (the normal case) each Machine creates its own RNG;
+// callers must not set MEHPTConfig.Rand on a config shared across
+// concurrent runs, since the copies would alias one generator.
 package sim
 
 import (
@@ -358,5 +372,5 @@ func (r *radixAdapter) FootprintBytes() uint64     { return r.pt.FootprintBytes(
 func (r *radixAdapter) PeakFootprintBytes() uint64 { return r.pt.PeakFootprintBytes() }
 func (r *radixAdapter) MaxContiguousAlloc() uint64 { return r.pt.MaxContiguousAlloc() }
 func (r *radixAdapter) AllocCycles() uint64        { return r.pt.AllocCycles() }
-func (r *radixAdapter) Moves() uint64              { return 0 }
+func (r *radixAdapter) Moves() uint64              { return r.pt.Moves() }
 func (r *radixAdapter) Free()                      { r.pt.Free() }

@@ -1,0 +1,92 @@
+// Command mehpt-lint is the multichecker for the repository's custom
+// analyzers (internal/analysis/...): the determinism and unit-safety
+// invariants from DESIGN.md, enforced mechanically. CI runs it as a
+// blocking job; run it locally with
+//
+//	go run ./cmd/mehpt-lint ./...
+//
+// Findings print as file:line:col: message (analyzer) and make the
+// process exit 1. Waive a legitimate finding with a directive on or
+// directly above the flagged line:
+//
+//	//mehpt:allow <analyzer>[,<analyzer>] -- <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list the analyzers and exit")
+	onlyFlag := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: mehpt-lint [-list] [-analyzers a,b] [packages]\n\n"+
+				"Runs the ME-HPT determinism/unit-safety analyzers over the given\n"+
+				"package patterns (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := suite.All()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *onlyFlag != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*onlyFlag, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mehpt-lint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	mod, err := analysis.FindModule(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mehpt-lint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, loader, err := analysis.Lint(mod, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mehpt-lint: %v\n", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		name := pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		// Analyzer messages already name their rule; keep the line format
+		// one-diagnostic-per-line for editors and CI annotations.
+		fmt.Printf("%s:%d:%d: %s\n", name, pos.Line, pos.Column, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mehpt-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,123 @@
+// Package addrspace enforces unit safety between the address domains
+// defined in internal/addr. VirtAddr/VPN live in the virtual domain,
+// PhysAddr/PPN in the physical domain, and within a domain byte addresses
+// and page numbers differ by a page-size shift. The type system already
+// stops implicit mixing; what it cannot stop is a *conversion* that
+// silently reinterprets one unit as another:
+//
+//	addr.PPN(vpn)          // virtual page number became a physical frame
+//	addr.VirtAddr(vpn)     // page number became a byte address, no shift
+//	addr.PPN(uint64(vpn))  // same bug laundered through uint64
+//
+// Those direct conversions are flagged. Legitimate crossings spell out
+// their arithmetic (addr.PPN(uint64(v)+off), VPN(uint64(va)>>shift)) or
+// use the addr helpers (PageNumber, Addr, Translate), which this analyzer
+// leaves alone.
+package addrspace
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the addrspace rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "addrspace",
+	Doc: "flag conversions that mix virtual/physical address domains or " +
+		"byte-address/page-number units without explicit arithmetic",
+	Run: run,
+}
+
+// unit describes one of the four address units.
+type unit struct {
+	virtual bool // virtual vs. physical domain
+	page    bool // page number vs. byte address
+}
+
+var units = map[string]unit{
+	"VirtAddr": {virtual: true, page: false},
+	"VPN":      {virtual: true, page: true},
+	"PhysAddr": {virtual: false, page: false},
+	"PPN":      {virtual: false, page: true},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dstName, dstUnit, ok := addrUnit(tv.Type)
+			if !ok {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			if srcName, srcUnit, ok := exprUnit(pass, arg); ok && srcName != dstName {
+				pass.Reportf(call.Pos(), "%s", mixMessage(srcName, srcUnit, dstName, dstUnit))
+				return true
+			}
+			// The laundered form: Dst(uint64(x)) with no arithmetic.
+			if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 {
+				itv, ok := pass.TypesInfo.Types[inner.Fun]
+				if ok && itv.IsType() && isInteger(itv.Type) {
+					if srcName, srcUnit, ok := exprUnit(pass, ast.Unparen(inner.Args[0])); ok && srcName != dstName {
+						pass.Reportf(call.Pos(),
+							"%s, laundered through %s; spell out the arithmetic that makes the crossing correct",
+							mixMessage(srcName, srcUnit, dstName, dstUnit), itv.Type)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// mixMessage tailors the diagnostic to the kind of unit violation.
+func mixMessage(srcName string, src unit, dstName string, dst unit) string {
+	conv := "conversion " + srcName + " -> " + dstName
+	switch {
+	case src.virtual != dst.virtual:
+		return conv + " mixes the virtual and physical address domains; translate through the page table or addr.Translate (rule addrspace)"
+	case src.page != dst.page:
+		return conv + " mixes byte addresses and page numbers without a page-size shift; use PageNumber/Addr (rule addrspace)"
+	default:
+		return conv + " mixes address units (rule addrspace)"
+	}
+}
+
+// addrUnit identifies t as one of internal/addr's unit types.
+func addrUnit(t types.Type) (string, unit, bool) {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", unit{}, false
+	}
+	path := named.Obj().Pkg().Path()
+	if path != "addr" && !strings.HasSuffix(path, "/addr") {
+		return "", unit{}, false
+	}
+	u, ok := units[named.Obj().Name()]
+	return named.Obj().Name(), u, ok
+}
+
+// exprUnit reports the address unit of e's type, if it has one.
+func exprUnit(pass *analysis.Pass, e ast.Expr) (string, unit, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return "", unit{}, false
+	}
+	return addrUnit(tv.Type)
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

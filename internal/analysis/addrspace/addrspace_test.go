@@ -1,0 +1,15 @@
+package addrspace_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/addrspace"
+)
+
+func TestAddrspace(t *testing.T) {
+	analysistest.Run(t, addrspace.Analyzer, "testdata",
+		"repro/internal/addr",  // the unit-defining package itself: clean
+		"repro/internal/atest", // mixing, laundering, and waived cases
+	)
+}

@@ -1,0 +1,31 @@
+// Package addr mirrors the real internal/addr unit types so the
+// addrspace golden package can exercise domain mixing. The analyzer
+// recognizes the types by package-path suffix and name, so this stand-in
+// behaves exactly like the real module.
+package addr
+
+// VirtAddr is a virtual byte address.
+type VirtAddr uint64
+
+// PhysAddr is a physical byte address.
+type PhysAddr uint64
+
+// VPN is a virtual page number.
+type VPN uint64
+
+// PPN is a physical page number.
+type PPN uint64
+
+// PageShift is the 4KB page shift used by the helpers below.
+const PageShift = 12
+
+// PageNumber is the blessed address->page-number crossing.
+func (va VirtAddr) PageNumber() VPN { return VPN(uint64(va) >> PageShift) }
+
+// Addr is the blessed page-number->address crossing.
+func (v VPN) Addr() VirtAddr { return VirtAddr(uint64(v) << PageShift) }
+
+// Translate is the blessed virtual->physical crossing.
+func Translate(va VirtAddr, ppn PPN) PhysAddr {
+	return PhysAddr(uint64(ppn)<<PageShift | uint64(va)&(1<<PageShift-1))
+}

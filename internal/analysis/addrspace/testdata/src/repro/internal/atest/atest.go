@@ -1,0 +1,59 @@
+// Package atest exercises the addrspace unit-safety rule.
+package atest
+
+import "repro/internal/addr"
+
+// Identity reinterprets a virtual page number as a physical frame.
+func Identity(v addr.VPN) addr.PPN {
+	return addr.PPN(v) // want `VPN -> PPN mixes the virtual and physical`
+}
+
+// Laundered hides the same bug behind a uint64 conversion.
+func Laundered(v addr.VPN) addr.PPN {
+	return addr.PPN(uint64(v)) // want `laundered through uint64`
+}
+
+// Offset spells out the arithmetic of the crossing: clean.
+func Offset(v addr.VPN) addr.PPN {
+	return addr.PPN(uint64(v) + 0x100000)
+}
+
+// UnitMix turns a page number into a byte address with no shift.
+func UnitMix(v addr.VPN) addr.VirtAddr {
+	return addr.VirtAddr(v) // want `VPN -> VirtAddr mixes byte addresses and page numbers`
+}
+
+// PhysUnitMix does the same in the physical domain.
+func PhysUnitMix(p addr.PPN) addr.PhysAddr {
+	return addr.PhysAddr(p) // want `PPN -> PhysAddr mixes byte addresses and page numbers`
+}
+
+// BackwardsMix crosses domains in the other direction.
+func BackwardsMix(pa addr.PhysAddr) addr.VirtAddr {
+	return addr.VirtAddr(pa) // want `PhysAddr -> VirtAddr mixes the virtual and physical`
+}
+
+// Raw drops to the documented raw escape type: clean.
+func Raw(v addr.VPN) uint64 {
+	return uint64(v)
+}
+
+// FromRaw builds a unit from a raw integer: clean.
+func FromRaw(x uint64) addr.VPN {
+	return addr.VPN(x)
+}
+
+// Helpers uses the blessed crossings: clean.
+func Helpers(va addr.VirtAddr, ppn addr.PPN) (addr.VPN, addr.PhysAddr) {
+	return va.PageNumber(), addr.Translate(va, ppn)
+}
+
+// Waived documents a test-fixture round-trip with the escape hatch.
+func Waived(p addr.PPN) addr.VPN {
+	return addr.VPN(p) //mehpt:allow addrspace -- fixture round-trips frames through VPN keys
+}
+
+// SameType conversions are no-ops and clean.
+func SameType(v addr.VPN) addr.VPN {
+	return addr.VPN(v)
+}

@@ -1,0 +1,87 @@
+// Package analysis is a minimal, stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects the
+// type-checked syntax of one package through a Pass and reports
+// Diagnostics. The repository is deliberately dependency-free, so instead
+// of importing x/tools we keep the same shape (Analyzer.Name/Doc/Run,
+// Pass.Fset/Files/Pkg/TypesInfo, Reportf) on top of go/ast, go/types and a
+// small source loader (loader.go). Should the module ever grow an x/tools
+// dependency, the analyzers port over mechanically.
+//
+// The suite exists to enforce DESIGN.md's determinism and unit-safety
+// invariants at tier-1 time; see the analyzer packages under
+// internal/analysis/... and the multichecker in cmd/mehpt-lint.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the rule in diagnostics and in //mehpt:allow
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass is the per-(analyzer, package) unit of work.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzers applies each analyzer to pkg, filters out findings
+// suppressed by //mehpt:allow directives, and appends diagnostics for
+// malformed directives. Diagnostics come back sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allows, diags := CollectAllows(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		var raw []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range raw {
+			if !allows.Allows(pkg.Fset, d.Pos, a.Name) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

@@ -1,0 +1,116 @@
+// Package detrand forbids nondeterministic sources in the simulator's
+// deterministic packages. DESIGN.md's reproducibility contract — identical
+// output at any worker count, stable across runs — only holds if every
+// random draw flows from an explicitly seeded *rand.Rand and no result
+// path reads the wall clock. This analyzer mechanizes that rule:
+//
+//   - top-level math/rand (and math/rand/v2) functions, which draw from
+//     the shared global generator, are forbidden; rand.New(rand.NewSource(
+//     seed)) constructors remain legal,
+//   - wall-clock and timer functions from package time are forbidden,
+//   - importing crypto/rand at all is forbidden.
+//
+// Legitimate wall-clock uses (the -progress timer in
+// internal/experiments) carry a "//mehpt:allow detrand -- reason"
+// directive.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the detrand rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid global math/rand, wall-clock time, and crypto/rand in " +
+		"deterministic simulator packages",
+	Run: run,
+}
+
+// Deterministic reports whether the package at path falls under the
+// determinism contract: the whole simulator core (repro/internal/...)
+// except the lint tooling itself. cmd/ and examples/ are I/O shells and
+// exempt.
+func Deterministic(path string) bool {
+	if !strings.HasPrefix(path, "repro/internal/") {
+		return false
+	}
+	return !strings.HasPrefix(path, "repro/internal/analysis")
+}
+
+// bannedRand are the math/rand (and v2) package-level functions that use
+// the process-global generator. The seeded constructors (New, NewSource,
+// NewZipf, NewPCG, NewChaCha8) stay allowed.
+var bannedRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint": true, "Uint32": true, "Uint32N": true, "Uint64": true,
+	"Uint64N": true, "UintN": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Read": true, "Seed": true,
+}
+
+// bannedTime are the package time functions that read the wall clock or
+// create timers; both are scheduling-dependent and must not influence
+// simulation results.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"Sleep": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !Deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "crypto/rand" {
+				pass.Reportf(imp.Pos(),
+					"crypto/rand is nondeterministic; derive randomness from an explicitly seeded *math/rand.Rand (rule detrand)")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath := importedPkg(pass, sel)
+			switch pkgPath {
+			case "math/rand", "math/rand/v2":
+				if bannedRand[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"global rand.%s draws from math/rand's shared generator; use an explicitly seeded *rand.Rand (rule detrand)",
+						sel.Sel.Name)
+				}
+			case "time":
+				if bannedTime[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock in a deterministic package; results must not depend on real time (rule detrand)",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// importedPkg returns the import path of sel's base if the base names an
+// imported package, else "".
+func importedPkg(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

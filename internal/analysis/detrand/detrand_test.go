@@ -1,0 +1,31 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "testdata",
+		"repro/internal/simx", // deterministic package: flagged + allowed cases
+		"repro/cmdx",          // I/O shell: same constructs, zero findings
+	)
+}
+
+func TestDeterministicSet(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/sim":              true,
+		"repro/internal/mehpt":            true,
+		"repro/internal/workload":         true,
+		"repro/internal/analysis":         false,
+		"repro/internal/analysis/detrand": false,
+		"repro/cmd/mehpt-experiments":     false,
+		"repro/examples/quickstart":       false,
+	} {
+		if got := detrand.Deterministic(path); got != want {
+			t.Errorf("Deterministic(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression directive grammar is
+//
+//	//mehpt:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// written either on the flagged line itself (trailing comment) or on the
+// line immediately above it. The reason is mandatory: an allow without a
+// recorded justification is itself a diagnostic. The analyzer list names
+// the rules being waived (e.g. "detrand" for the -progress wall-clock
+// timer in internal/experiments).
+const directivePrefix = "//mehpt:allow"
+
+// AllowSet records, per file line, which analyzers have been waived.
+type AllowSet map[allowKey]bool
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// CollectAllows scans the files' comments for //mehpt:allow directives.
+// Malformed directives (no analyzer list, or a missing "-- reason") are
+// returned as diagnostics under the pseudo-analyzer name "directive".
+func CollectAllows(fset *token.FileSet, files []*ast.File) (AllowSet, []Diagnostic) {
+	allows := AllowSet{}
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := c.Text[len(directivePrefix):]
+				names, reason, ok := splitDirective(rest)
+				if !ok {
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "directive",
+						Message:  `malformed //mehpt:allow directive: want "//mehpt:allow <analyzer>[,<analyzer>] -- <reason>"`,
+					})
+					continue
+				}
+				_ = reason // the reason is for humans; presence is all we check
+				pos := fset.Position(c.Pos())
+				for _, n := range names {
+					allows[allowKey{pos.Filename, pos.Line, n}] = true
+				}
+			}
+		}
+	}
+	return allows, diags
+}
+
+// splitDirective parses ` detrand,maporder -- reason` into its parts.
+func splitDirective(rest string) (names []string, reason string, ok bool) {
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return nil, "", false
+	}
+	list, reason, found := strings.Cut(rest, "--")
+	if !found {
+		return nil, "", false
+	}
+	reason = strings.TrimSpace(reason)
+	if reason == "" {
+		return nil, "", false
+	}
+	for _, n := range strings.Split(list, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			return nil, "", false
+		}
+		names = append(names, n)
+	}
+	return names, reason, true
+}
+
+// Allows reports whether a diagnostic by analyzer at pos is waived: a
+// directive for that analyzer sits on the same line or the line above.
+func (a AllowSet) Allows(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	p := fset.Position(pos)
+	return a[allowKey{p.Filename, p.Line, analyzer}] ||
+		a[allowKey{p.Filename, p.Line - 1, analyzer}]
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Module describes the module whose packages are being linted.
+type Module struct {
+	Path string // module path from go.mod (e.g. "repro")
+	Dir  string // absolute directory of the module root
+}
+
+// FindModule walks upward from dir to the enclosing go.mod.
+func FindModule(dir string) (Module, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return Module{}, err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			sc := bufio.NewScanner(bytes.NewReader(data))
+			for sc.Scan() {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(sc.Text()), "module "); ok {
+					return Module{Path: strings.TrimSpace(rest), Dir: dir}, nil
+				}
+			}
+			return Module{}, fmt.Errorf("%s/go.mod: no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return Module{}, fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ExpandPatterns resolves package patterns (./..., specific dirs) to
+// import paths using the go tool, keeping only packages belonging to the
+// module. Package enumeration is the one job delegated to the go command;
+// loading and checking stay in-process (loader.go).
+func ExpandPatterns(mod Module, patterns []string) ([]string, error) {
+	args := append([]string{"list", "-e", "-f", "{{.ImportPath}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = mod.Dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var paths []string
+	for _, line := range strings.Split(out.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if line == mod.Path || strings.HasPrefix(line, mod.Path+"/") {
+			paths = append(paths, line)
+		}
+	}
+	return paths, nil
+}
+
+// Lint loads every package named by patterns and applies the analyzers,
+// returning the surviving (non-suppressed) diagnostics sorted by position
+// within each package.
+func Lint(mod Module, patterns []string, analyzers []*Analyzer) ([]Diagnostic, *Loader, error) {
+	paths, err := ExpandPatterns(mod, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	loader := NewLoader(ModuleResolver(mod.Path, mod.Dir))
+	var diags []Diagnostic
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		ds, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			return nil, nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, loader, nil
+}

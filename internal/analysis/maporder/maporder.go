@@ -1,0 +1,192 @@
+// Package maporder flags Go map iterations whose order can leak into
+// simulator output. Go randomizes map iteration order per run, so a range
+// over a map that appends to a slice, writes to an output stream, or
+// feeds a hash/seed derivation produces run-dependent results — the exact
+// class of silent nondeterminism the repository's reproducibility
+// contract forbids. The canonical fix is to collect and sort: an append
+// inside the loop is accepted when the slice is passed to a sort call
+// later in the same block.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the maporder rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration whose order leaks into slices, output " +
+		"streams, or hash/seed derivations without a deterministic sort",
+	Run: run,
+}
+
+// writerNames are method/function names that emit output; reached inside
+// a map range they serialize the map in random order.
+var writerNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Encode": true, "EncodeToken": true, "Marshal": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass, rs) {
+					continue
+				}
+				checkLoop(pass, rs, block.List[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkLoop inspects one map-range body. tail is the rest of the
+// enclosing block, searched for the sanctioned collect-then-sort idiom.
+func checkLoop(pass *analysis.Pass, rs *ast.RangeStmt, tail []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				obj := assignTarget(pass, n.Lhs[i])
+				if obj == nil || declaredWithin(obj, rs) {
+					continue
+				}
+				if sortedLater(pass, tail, obj) {
+					continue
+				}
+				pass.Reportf(n.Pos(),
+					"map iteration order leaks into %s; sort it after the loop or iterate over sorted keys (rule maporder)",
+					obj.Name())
+			}
+		case *ast.CallExpr:
+			name := calleeName(n)
+			switch {
+			case writerNames[name]:
+				pass.Reportf(n.Pos(),
+					"writing output inside map iteration makes the output order nondeterministic; collect rows and sort them first (rule maporder)")
+			case isHashName(name):
+				pass.Reportf(n.Pos(),
+					"feeding %s from map iteration makes the result order-dependent; iterate over sorted keys (rule maporder)", name)
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}
+
+// assignTarget resolves the assigned variable, or nil for non-identifier
+// targets (struct fields keep their finding via the root variable).
+func assignTarget(pass *analysis.Pass, lhs ast.Expr) types.Object {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[x]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[x]
+	case *ast.SelectorExpr:
+		if sel := pass.TypesInfo.Selections[x]; sel != nil {
+			return sel.Obj()
+		}
+	}
+	return nil
+}
+
+// declaredWithin reports whether obj is declared inside the loop — an
+// inner accumulator cannot outlive an iteration, so its order is moot.
+func declaredWithin(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+}
+
+// sortedLater reports whether a later statement in the block passes obj
+// to a sort (package sort or slices), the sanctioned determinizer.
+func sortedLater(pass *analysis.Pass, tail []ast.Stmt, obj types.Object) bool {
+	for _, stmt := range tail {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSortCall(pass, call) {
+				return true
+			}
+			ast.Inspect(call, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pn.Imported().Path()
+	return path == "sort" || path == "slices"
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// isHashName matches hash/seed-derivation calls: DeriveSeed, Hash*,
+// Sum/Sum32/Sum64 and friends.
+func isHashName(name string) bool {
+	return strings.Contains(name, "Seed") ||
+		strings.HasPrefix(name, "Hash") ||
+		strings.HasPrefix(name, "Sum")
+}

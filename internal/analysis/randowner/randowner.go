@@ -1,0 +1,264 @@
+// Package randowner enforces DESIGN.md's RNG-ownership rule: tables hold
+// a private *rand.Rand, and a generator must never be aliased across
+// tables or goroutines. Concretely, for every write to a config struct's
+// Rand field (assignment or composite literal):
+//
+//   - the right-hand side must be a freshly constructed rand.New(...) or
+//     nil (leaving the table to seed privately from its config), with one
+//     exception: a constructor (New*) may forward its own config
+//     parameter's Rand into the single table it builds;
+//   - a config reached through a pointer parameter must not have its Rand
+//     written — the caller shares that struct, so the write aliases a
+//     generator into state the function does not own;
+//   - the same generator value must not be written into more than one
+//     Rand field within a function — that is exactly how one *rand.Rand
+//     escapes into two tables and becomes a data race under the parallel
+//     runner.
+package randowner
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the randowner rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "randowner",
+	Doc: "enforce the table-RNG ownership rule: Rand fields take a fresh " +
+		"rand.New or nil, never a shared generator",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Name.Name, fd.Type, fd.Body, map[types.Object]bool{})
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one function body. outerParams carries the parameter
+// objects of enclosing functions so writes through closed-over pointer
+// parameters are still caught inside closures.
+func checkFunc(pass *analysis.Pass, name string, ft *ast.FuncType, body *ast.BlockStmt, outerParams map[types.Object]bool) {
+	params := make(map[types.Object]bool, len(outerParams))
+	for o := range outerParams {
+		params[o] = true
+	}
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			for _, id := range field.Names {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	// seen maps a non-fresh RHS (its root object and selector spelling) to
+	// the first Rand field it was written into.
+	seen := map[string]token.Pos{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFunc(pass, name, n.Type, n.Body, params)
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok || !isRandField(pass, sel.Sel) {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				checkWrite(pass, name, params, seen, sel, rhs, sel.Pos())
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || !isRandField(pass, key) {
+					continue
+				}
+				checkWrite(pass, name, params, seen, nil, kv.Value, kv.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite applies the three ownership rules to one write of a Rand
+// field. sel is the written selector for assignments, nil for composite
+// literals.
+func checkWrite(pass *analysis.Pass, fn string, params map[types.Object]bool, seen map[string]token.Pos, sel *ast.SelectorExpr, rhs ast.Expr, pos token.Pos) {
+	if sel != nil {
+		if base := rootObject(pass, sel.X); base != nil && params[base] {
+			if _, isPtr := base.Type().Underlying().(*types.Pointer); isPtr {
+				pass.Reportf(sel.Pos(),
+					"%s writes Rand on a caller-shared config (pointer parameter %s); copy the config by value before seeding it (rule randowner)",
+					fn, base.Name())
+			}
+		}
+	}
+	if rhs == nil {
+		return
+	}
+	rhs = ast.Unparen(rhs)
+	if isFresh(pass, rhs) {
+		return
+	}
+	if !isHandoff(pass, fn, params, rhs) {
+		pass.Reportf(pos,
+			"Rand must be seeded with a fresh rand.New(...) or left nil, not an existing generator (rule randowner)")
+	}
+	// Handoffs still participate in escape tracking: forwarding one
+	// config's generator into two tables is aliasing all the same.
+	recordEscape(pass, fn, seen, rhs, pos)
+}
+
+// recordEscape flags a generator expression written into a second Rand
+// field within the same function.
+func recordEscape(pass *analysis.Pass, fn string, seen map[string]token.Pos, rhs ast.Expr, pos token.Pos) {
+	rhs = ast.Unparen(rhs)
+	if isFresh(pass, rhs) {
+		return
+	}
+	key := exprKey(pass, rhs)
+	if key == "" {
+		return
+	}
+	if _, dup := seen[key]; dup {
+		pass.Reportf(pos,
+			"*rand.Rand %s escapes into more than one table in %s; each table must own a private generator (rule randowner)",
+			exprText(rhs), fn)
+		return
+	}
+	seen[key] = pos
+}
+
+// isRandField reports whether id resolves to a struct field named Rand of
+// type *math/rand.Rand.
+func isRandField(pass *analysis.Pass, id *ast.Ident) bool {
+	if id.Name != "Rand" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return false
+	}
+	return isRandPtr(v.Type())
+}
+
+func isRandPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return named.Obj().Name() == "Rand" && (path == "math/rand" || path == "math/rand/v2")
+}
+
+// isFresh reports whether e constructs a new generator on the spot:
+// rand.New(...) (math/rand or v2) or the nil literal.
+func isFresh(pass *analysis.Pass, e ast.Expr) bool {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.IsNil() {
+		return true
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "New" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pn.Imported().Path()
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// isHandoff reports whether e is the blessed constructor handoff: inside a
+// New* function, reading Rand off one of the function's own parameters.
+func isHandoff(pass *analysis.Pass, fn string, params map[types.Object]bool, e ast.Expr) bool {
+	if len(fn) < 3 || (fn[:3] != "New" && fn[:3] != "new") {
+		return false
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Rand" {
+		return false
+	}
+	base := rootObject(pass, sel.X)
+	return base != nil && params[base]
+}
+
+// rootObject returns the object of the leftmost identifier of a selector
+// chain (unwrapping derefs and parens), or nil.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprKey identifies a generator-valued expression by its root object and
+// spelling, so two writes of the same value are recognized.
+func exprKey(pass *analysis.Pass, e ast.Expr) string {
+	obj := rootObject(pass, e)
+	if obj == nil {
+		return ""
+	}
+	return fmt.Sprintf("%p/%s", obj, exprText(e))
+}
+
+// exprText renders a selector chain as source-ish text for messages.
+func exprText(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprText(x.X)
+	case *ast.IndexExpr:
+		return exprText(x.X) + "[...]"
+	default:
+		return "generator"
+	}
+}

@@ -1,0 +1,15 @@
+package randowner_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/randowner"
+)
+
+func TestRandowner(t *testing.T) {
+	analysistest.Run(t, randowner.Analyzer, "testdata",
+		"repro/internal/tablex", // the owning table package itself: clean
+		"repro/internal/rtest",  // call-site rules: fresh/handoff/aliasing
+	)
+}

@@ -1,0 +1,82 @@
+// Package rtest exercises the randowner ownership rules against the
+// tablex stand-in config.
+package rtest
+
+import (
+	"math/rand"
+
+	"repro/internal/tablex"
+)
+
+// Good seeds a local config with a fresh generator: clean.
+func Good(seed int64) *tablex.Table {
+	cfg := tablex.Config{Seed: seed}
+	cfg.Rand = rand.New(rand.NewSource(seed))
+	return tablex.New(cfg)
+}
+
+// GoodNil leaves Rand nil so the table seeds privately: clean.
+func GoodNil(seed int64) *tablex.Table {
+	return tablex.New(tablex.Config{Seed: seed, Rand: nil})
+}
+
+// BadShared writes Rand through a pointer parameter — the caller shares
+// that config, so the generator aliases into state BadShared doesn't own.
+func BadShared(cfg *tablex.Config, seed int64) {
+	cfg.Rand = rand.New(rand.NewSource(seed)) // want `caller-shared config`
+}
+
+var global = rand.New(rand.NewSource(1))
+
+// BadAlias hands one existing generator to two configs.
+func BadAlias() (tablex.Config, tablex.Config) {
+	var a, b tablex.Config
+	a.Rand = global // want `fresh rand\.New`
+	b.Rand = global // want `fresh rand\.New` `escapes into more than one table`
+	return a, b
+}
+
+// NewWrapped forwards its own config's generator into the single table it
+// builds — the blessed constructor handoff, clean.
+func NewWrapped(cfg tablex.Config) *tablex.Table {
+	inner := tablex.Config{Seed: cfg.Seed, Rand: cfg.Rand}
+	return tablex.New(inner)
+}
+
+// NewTwo hands the same incoming generator to two tables: the first
+// handoff passes, the second is the alias.
+func NewTwo(cfg tablex.Config) (*tablex.Table, *tablex.Table) {
+	a := tablex.Config{Seed: cfg.Seed, Rand: cfg.Rand}
+	b := tablex.Config{Seed: cfg.Seed, Rand: cfg.Rand} // want `escapes into more than one table`
+	return tablex.New(a), tablex.New(b)
+}
+
+// BadLiteral seeds a composite literal from an existing generator outside
+// any constructor: flagged.
+func BadLiteral() tablex.Config {
+	return tablex.Config{Rand: global} // want `fresh rand\.New`
+}
+
+// Waived documents an intentional violation with the escape hatch.
+func Waived() tablex.Config {
+	var c tablex.Config
+	c.Rand = global //mehpt:allow randowner -- doc example showing a deliberately shared generator
+	return c
+}
+
+// GoodClosure seeds inside a closure from a fresh generator: clean.
+func GoodClosure(seed int64) func() *tablex.Table {
+	return func() *tablex.Table {
+		var c tablex.Config
+		c.Rand = rand.New(rand.NewSource(seed))
+		return tablex.New(c)
+	}
+}
+
+// BadClosure writes through the enclosing function's pointer parameter
+// from inside a closure: still caller-shared.
+func BadClosure(cfg *tablex.Config) func() {
+	return func() {
+		cfg.Rand = rand.New(rand.NewSource(9)) // want `caller-shared config`
+	}
+}

@@ -1,0 +1,27 @@
+// Package tablex is a stand-in for the repo's table packages (mehpt,
+// ecpt, cuckoo): a config struct carrying an optional private generator.
+package tablex
+
+import "math/rand"
+
+// Config parameterizes a Table. Rand, when nil, is seeded privately by
+// the constructor — the ownership rule randowner enforces at call sites.
+type Config struct {
+	Seed int64
+	Rand *rand.Rand
+}
+
+// Table owns its generator.
+type Table struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New builds a table, seeding privately when cfg.Rand is nil.
+func New(cfg Config) *Table {
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return &Table{cfg: cfg, rng: rng}
+}

@@ -1,0 +1,21 @@
+// Package suite registers the repository's analyzers in one place for the
+// cmd/mehpt-lint multichecker and the repo-wide lint test.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/addrspace"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/randowner"
+)
+
+// All returns every analyzer in the mehpt-lint suite.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		addrspace.Analyzer,
+		detrand.Analyzer,
+		maporder.Analyzer,
+		randowner.Analyzer,
+	}
+}

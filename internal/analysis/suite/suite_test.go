@@ -1,0 +1,45 @@
+package suite_test
+
+import (
+	"os/exec"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+// TestRepoIsClean runs the full mehpt-lint suite over the module, so
+// tier-1 `go test ./...` enforces the DESIGN.md determinism and
+// unit-safety invariants without waiting for the CI lint job.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo lint load is not -short material")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+	mod, err := analysis.FindModule(".")
+	if err != nil {
+		t.Fatalf("finding module: %v", err)
+	}
+	diags, loader, err := analysis.Lint(mod, []string{"./..."}, suite.All())
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s", loader.Fset.Position(d.Pos), d.Message)
+	}
+}
+
+func TestSuiteNamesAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range suite.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing metadata", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

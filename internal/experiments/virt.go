@@ -53,7 +53,7 @@ func Virtualization(o Options, pages int) []VirtRow {
 			mapHost = func(v addr.VPN, p addr.PPN) error { _, err := hpt.Map(v, addr.Page4K, p); return err }
 		}
 		for g := addr.VPN(0); g < 1<<19; g++ {
-			if err := mapHost(g, addr.PPN(g)+0x100000); err != nil {
+			if err := mapHost(g, addr.PPN(uint64(g)+0x100000)); err != nil {
 				return nil
 			}
 		}

@@ -43,11 +43,12 @@ type RadixHost struct {
 // TranslateGPA walks the host tree for gpa (treated as a host-virtual
 // address of the guest's "physical" space, the standard nested layout).
 func (h *RadixHost) TranslateGPA(gpa addr.PhysAddr) (addr.PhysAddr, []addr.PhysAddr, bool) {
+	//mehpt:allow addrspace -- nested paging: the gPA is, by definition, the host walk's virtual input
 	pas, tr, ok := h.PT.WalkAddrs(addr.VirtAddr(gpa))
 	if !ok {
 		return 0, pas, false
 	}
-	return addr.Translate(addr.VirtAddr(gpa), tr.PPN, tr.Size), pas, true
+	return addr.Translate(addr.VirtAddr(gpa), tr.PPN, tr.Size), pas, true //mehpt:allow addrspace -- same gPA-as-host-VA crossing as above
 }
 
 // HPTHost adapts a host hashed page table (ECPT or ME-HPT).
@@ -61,7 +62,7 @@ type HPTHost struct {
 
 // TranslateGPA probes the host HPT: a single targeted access.
 func (h *HPTHost) TranslateGPA(gpa addr.PhysAddr) (addr.PhysAddr, []addr.PhysAddr, bool) {
-	va := addr.VirtAddr(gpa)
+	va := addr.VirtAddr(gpa) //mehpt:allow addrspace -- nested paging: the gPA is, by definition, the host walk's virtual input
 	tr, ok := h.PT.Translate(va)
 	if !ok {
 		return 0, nil, false

@@ -1,0 +1,88 @@
+package stats_test
+
+// The -json Recorder document is the artifact the determinism guarantee
+// ultimately protects: DESIGN.md promises that a suite run produces
+// byte-identical machine-readable output across runs and worker counts.
+// These tests pin both halves of that promise — the encoding itself
+// (golden file) and the end-to-end byte stability of a real experiment
+// driver fanned out over different worker pools.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWriteJSONGolden pins the exact byte encoding of the Recorder
+// document (section order, field order, indentation, trailing newline).
+// Synthetic rows keep the golden file independent of the simulator's
+// numeric output, so it only changes when the encoder itself does.
+func TestWriteJSONGolden(t *testing.T) {
+	type row struct {
+		App     string  `json:"app"`
+		Speedup float64 `json:"speedup"`
+		Bytes   uint64  `json:"bytes"`
+	}
+	var r stats.Recorder
+	r.Record("fig9", []row{
+		{App: "BFS", Speedup: 1.28, Bytes: 9 << 30},
+		{App: "GUPS", Speedup: 1.23, Bytes: 64 << 30},
+	})
+	r.Record("notes", map[string]string{"seed": "42"})
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "recorder_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("WriteJSON output drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestJSONByteStableAcrossRunsAndWorkers drives a real experiment matrix
+// (Table I) through the Recorder at 1 and 8 workers, twice at each, and
+// requires the four JSON documents to be byte-identical.
+func TestJSONByteStableAcrossRunsAndWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real population experiments")
+	}
+	encode := func(workers int) []byte {
+		o := experiments.TestOptions()
+		o.Scale = 512 // smaller footprints: stability, not magnitude, is under test
+		o.Parallel = workers
+		var rec stats.Recorder
+		rec.Record("table1", experiments.Table1(o))
+		var buf bytes.Buffer
+		if err := rec.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := encode(1)
+	for name, got := range map[string][]byte{
+		"serial rerun":     encode(1),
+		"parallel 8":       encode(8),
+		"parallel 8 rerun": encode(8),
+	} {
+		if !bytes.Equal(base, got) {
+			t.Errorf("%s: JSON output differs from the serial baseline", name)
+		}
+	}
+}

@@ -12,6 +12,13 @@
 // changes wall-clock time, never numbers. -progress prints one line per
 // completed run with its wall-clock duration; -json writes every driver's
 // typed rows to a machine-readable file.
+//
+// -inject attaches a deterministic allocation-failure policy (see
+// internal/inject) to every run's physical allocator, exercising the
+// degradation ladder under memory pressure; failed jobs are summarized per
+// job at the end (and under "job_failures" in -json output) and make the
+// process exit non-zero. -fail-fast aborts the remaining jobs of a matrix
+// after the first failure (at the cost of run-to-run determinism).
 package main
 
 import (
@@ -24,23 +31,35 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/experiments"
+	"repro/internal/inject"
 	"repro/internal/stats"
 )
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiments to run, or 'all' (table1,table2,alloccost,frag,fivelevel,virt,fig8..fig16)")
-		scale    = flag.Uint64("scale", 1, "footprint divisor (1 = paper's full scale)")
-		accesses = flag.Uint64("accesses", 30_000_000, "timed trace length for fig9")
-		memGB    = flag.Uint64("mem", 64, "simulated physical memory (GB)")
-		fmfi     = flag.Float64("fmfi", 0.7, "ambient memory fragmentation (FMFI)")
-		seed     = flag.Int64("seed", 42, "simulation seed")
-		parallel = flag.Int("parallel", 0, "worker count for independent runs (0 = GOMAXPROCS, 1 = serial)")
-		progress = flag.Bool("progress", true, "print per-run wall-clock timing as the matrix executes")
-		jsonOut  = flag.String("json", "", "write machine-readable results (all experiment rows) to this file")
+		expFlag    = flag.String("exp", "all", "comma-separated experiments to run, or 'all' (table1,table2,alloccost,frag,fivelevel,virt,fig8..fig16)")
+		scale      = flag.Uint64("scale", 1, "footprint divisor (1 = paper's full scale)")
+		accesses   = flag.Uint64("accesses", 30_000_000, "timed trace length for fig9")
+		memGB      = flag.Uint64("mem", 64, "simulated physical memory (GB)")
+		fmfi       = flag.Float64("fmfi", 0.7, "ambient memory fragmentation (FMFI)")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		parallel   = flag.Int("parallel", 0, "worker count for independent runs (0 = GOMAXPROCS, 1 = serial)")
+		progress   = flag.Bool("progress", true, "print per-run wall-clock timing as the matrix executes")
+		jsonOut    = flag.String("json", "", "write machine-readable results (all experiment rows) to this file")
+		injectSpec = flag.String("inject", "", "fault-injection policy for every run's allocator, e.g. 'nth=50', 'rate=0.01+pressure=0.9' (see internal/inject)")
+		failFast   = flag.Bool("fail-fast", false, "abort each experiment's remaining jobs after the first failure (forfeits worker-count determinism)")
 	)
 	flag.Parse()
 
+	if *injectSpec != "" {
+		// Validate the spec up front so a typo fails before minutes of runs.
+		if _, err := inject.Parse(*injectSpec, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "mehpt-experiments: -inject: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	failures := &experiments.FailureLog{}
 	o := experiments.DefaultOptions()
 	o.Scale = *scale
 	o.TimedAccesses = *accesses
@@ -48,6 +67,9 @@ func main() {
 	o.FMFI = *fmfi
 	o.Seed = *seed
 	o.Parallel = *parallel
+	o.Inject = *injectSpec
+	o.FailFast = *failFast
+	o.Failures = failures
 	if *progress {
 		// Called concurrently from the worker pool; a single Printf is
 		// atomic enough for line-oriented progress output.
@@ -71,6 +93,7 @@ func main() {
 			return
 		}
 		start := time.Now()
+		o.Name = name // labels this experiment's failure records (f reads o)
 		rows := f()
 		if rows != nil {
 			rec.Record(name, rows)
@@ -177,6 +200,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	if failures.Len() > 0 {
+		rec.Record("job_failures", failures.Failures())
+	}
+
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
@@ -193,5 +220,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mehpt-experiments: writing %s: %v\n", *jsonOut, err)
 			os.Exit(1)
 		}
+	}
+
+	if n := failures.Len(); n > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d job(s) failed:\n", n)
+		for _, jf := range failures.Failures() {
+			kind := ""
+			if jf.Panicked {
+				kind = " [panic]"
+			}
+			fmt.Fprintf(os.Stderr, "  %s: %s%s: %s\n", jf.Experiment, jf.Job, kind, jf.Reason)
+		}
+		os.Exit(1)
 	}
 }

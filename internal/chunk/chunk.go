@@ -26,6 +26,12 @@ var ErrL2PFull = errors.New("chunk: L2P subtable full; chunk-size transition req
 // largest chunk size.
 var ErrLadderExhausted = errors.New("chunk: way exceeds capacity of largest chunk size")
 
+// ErrTransitionFailed is returned when a chunk-size transition could not
+// allocate the next rung's chunks and rolled back: the store is valid at
+// its previous geometry, and the error chain reaches the underlying
+// allocation failure (usually phys.ErrOutOfMemory).
+var ErrTransitionFailed = errors.New("chunk: chunk-size transition failed and rolled back")
+
 // NextChunkBytes returns the default-ladder rung above cur, or 0 if cur is
 // the top.
 func NextChunkBytes(cur uint64) uint64 { return nextIn(Ladder, cur) }
@@ -157,6 +163,13 @@ func (s *Store) Extend(targetBytes uint64) (uint64, error) {
 }
 
 func (s *Store) extendChunks(targetBytes uint64) (uint64, error) {
+	return s.extend(targetBytes, false)
+}
+
+// extend grows the chunk list to cover targetBytes. restoring selects the
+// rollback allocation path, which bypasses fault injection: a restore
+// re-acquires memory the caller just freed, so it must always succeed.
+func (s *Store) extend(targetBytes uint64, restoring bool) (uint64, error) {
 	need := chunksFor(targetBytes, s.chunkBytes)
 	var total uint64
 	added := 0
@@ -166,7 +179,16 @@ func (s *Store) extendChunks(targetBytes uint64) (uint64, error) {
 			s.rollback(added)
 			return total, ErrL2PFull
 		}
-		ppn, cycles, err := s.alloc.Alloc(s.chunkBytes)
+		var (
+			ppn    addr.PPN
+			cycles uint64
+			err    error
+		)
+		if restoring {
+			ppn, cycles, err = s.alloc.AllocRollback(s.chunkBytes)
+		} else {
+			ppn, cycles, err = s.alloc.Alloc(s.chunkBytes)
+		}
 		total += cycles
 		if err != nil {
 			s.l2p.Release(s.way, s.size, 1)
@@ -214,13 +236,17 @@ func (s *Store) Transition(targetBytes uint64) (uint64, error) {
 	cycles, err := s.extendChunks(targetBytes)
 	if err != nil {
 		// Restore the old configuration so the caller can keep running at
-		// the previous size.
+		// the previous size. The restore allocations bypass fault injection
+		// (AllocRollback): the old chunks were freed above, so the buddy
+		// allocator can always hand the same capacity back. A failure here
+		// is therefore an accounting-invariant violation, not a recoverable
+		// condition, and stays a panic (see DESIGN.md "Fault model").
 		s.chunkBytes = oldChunkBytes
 		s.chunks = nil
-		if _, err2 := s.extendChunks(uint64(len(oldChunks)) * oldChunkBytes); err2 != nil {
+		if _, err2 := s.extend(uint64(len(oldChunks))*oldChunkBytes, true); err2 != nil {
 			panic(fmt.Sprintf("chunk: cannot restore after failed transition: %v", err2))
 		}
-		return cycles, err
+		return cycles, fmt.Errorf("%w: %w", ErrTransitionFailed, err)
 	}
 	s.wayBytes = targetBytes
 	return cycles, nil

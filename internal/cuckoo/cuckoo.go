@@ -36,9 +36,18 @@ type Entry struct {
 }
 
 // ErrTableFull is returned when an insertion cannot be placed even after
-// forcing resizes; with the paper's occupancy thresholds this indicates a
-// misconfiguration (e.g. MaxSize reached).
+// forcing resizes — either the per-way cap was reached or memory pressure
+// kept the table from growing. The error chain carries the underlying
+// cause (e.g. phys.ErrOutOfMemory through the embedder's AllocWays hook);
+// the rejected entry is never left partially placed.
 var ErrTableFull = errors.New("cuckoo: table full")
+
+// ErrMigrationFailed is returned when the gradual rehash cannot re-place a
+// displaced entry in the resize target. The failed migration step is rolled
+// back — the displaced entry is restored and the rehash pointer rewound —
+// so the table stays valid and the migration retries on a later insertion
+// with fresh displacement choices.
+var ErrMigrationFailed = errors.New("cuckoo: gradual-rehash migration failed")
 
 // Config parameterizes a Table.
 type Config struct {
@@ -83,6 +92,7 @@ type Stats struct {
 	Upsizes    uint64
 	Downsizes  uint64
 	FailedUps  uint64 // upsizes aborted by allocation failure
+	Stalls     uint64 // migration steps rolled back (retried later)
 	ProbeSlots uint64 // slots examined by lookups
 }
 
@@ -115,9 +125,23 @@ type Table struct {
 	rng       *rand.Rand
 }
 
-// New creates an empty table. It panics on invalid configuration, since all
-// callers construct configs from compile-time constants.
+// New creates an empty table, panicking if the initial ways cannot be
+// backed. Callers that install an AllocWays hook and need to survive
+// memory pressure at construction time use Build instead.
 func New(cfg Config) *Table {
+	t, err := Build(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("cuckoo: initial allocation failed: %v", err))
+	}
+	return t
+}
+
+// Build creates an empty table, returning an error if the embedder's
+// AllocWays hook cannot back the initial ways — the one construction
+// failure that is a runtime memory-pressure condition rather than a
+// programmer error. Invalid configuration still panics, since all callers
+// construct configs from compile-time constants.
+func Build(cfg Config) (*Table, error) {
 	if cfg.Ways < 2 {
 		panic("cuckoo: need at least 2 ways")
 	}
@@ -152,10 +176,10 @@ func New(cfg Config) *Table {
 	}
 	if t.cfg.Hooks.AllocWays != nil {
 		if err := t.cfg.Hooks.AllocWays(cfg.InitialEntries); err != nil {
-			panic(fmt.Sprintf("cuckoo: initial allocation failed: %v", err))
+			return nil, fmt.Errorf("cuckoo: initial way allocation: %w", err)
 		}
 	}
-	return t
+	return t, nil
 }
 
 // Len returns the number of elements stored.
@@ -257,9 +281,15 @@ func (t *Table) Insert(key, val uint64) (int, error) {
 		}
 	}
 	if t.next != nil {
-		t.rehashStep(t.cfg.RehashBatch)
+		if err := t.rehashStep(t.cfg.RehashBatch); err != nil {
+			// A stalled migration is not fatal to this insert: the stuck
+			// entry was rolled back into the old table and stays reachable,
+			// and the rewound rehash pointer makes a later insertion retry
+			// it with fresh displacement choices.
+			t.stats.Stalls++
+		}
 	}
-	kicks, err := t.place(Entry{Key: key, Val: val}, -1, 0)
+	kicks, err := t.place(Entry{Key: key, Val: val}, -1)
 	if err != nil {
 		return kicks, err
 	}
@@ -272,51 +302,87 @@ func (t *Table) Insert(key, val uint64) (int, error) {
 	return kicks, nil
 }
 
-// place inserts e starting at a random way other than exclude, displacing
-// occupants cuckoo-style. depth counts displacements so far.
-func (t *Table) place(e Entry, exclude int, depth int) (int, error) {
-	if depth > t.cfg.MaxKicks {
-		// Displacement chain too long: force progress. If a resize is in
-		// flight, drain it; otherwise start an upsize. Then retry once.
-		if t.next != nil {
-			t.drainResize()
-		} else if err := t.forceUpsize(); err != nil {
-			return depth, fmt.Errorf("%w: %v", ErrTableFull, err)
-		}
-		return t.placeRetry(e, depth)
-	}
-	i := t.pickWay(exclude)
-	w, idx := t.locate(i, e.Key)
-	if w.slots[idx].Key == EmptyKey {
-		w.slots[idx] = e
-		return depth, nil
-	}
-	victim := w.slots[idx]
-	w.slots[idx] = e
-	t.stats.Kicks++
-	if t.cfg.Hooks.OnKick != nil {
-		t.cfg.Hooks.OnKick()
-	}
-	return t.place(victim, i, depth+1)
+// undo is one journal record of tryPlace's displacement chain.
+type undo struct {
+	w    *way
+	idx  uint64
+	prev Entry
 }
 
-// placeRetry re-attempts placement after a forced resize, without counting
-// additional kick depth against the limit more than once.
-func (t *Table) placeRetry(e Entry, depth int) (int, error) {
+// tryPlace attempts to insert e starting at a random way other than
+// exclude, displacing occupants cuckoo-style for at most MaxKicks
+// displacements. Every slot write is journaled; if the chain overflows,
+// the journal is replayed in reverse and the table is left exactly as it
+// was — a failed placement never evicts a previously accepted entry.
+// Kick statistics and hooks still record the attempted displacements (the
+// hardware/OS did that work even when the chain was abandoned).
+func (t *Table) tryPlace(e Entry, exclude int) (int, bool) {
+	var journal []undo
+	kicks := 0
+	for {
+		i := t.pickWay(exclude)
+		w, idx := t.locate(i, e.Key)
+		prev := w.slots[idx]
+		journal = append(journal, undo{w, idx, prev})
+		w.slots[idx] = e
+		if prev.Key == EmptyKey {
+			return kicks, true
+		}
+		t.stats.Kicks++
+		if t.cfg.Hooks.OnKick != nil {
+			t.cfg.Hooks.OnKick()
+		}
+		kicks++
+		if kicks > t.cfg.MaxKicks {
+			for j := len(journal) - 1; j >= 0; j-- {
+				journal[j].w.slots[journal[j].idx] = journal[j].prev
+			}
+			return kicks, false
+		}
+		e, exclude = prev, i
+	}
+}
+
+// place inserts e, forcing progress between bounded placement attempts:
+// drain the in-flight resize if there is one, start an upsize otherwise.
+// On failure the table is unchanged — every partial displacement chain was
+// rolled back — and the error wraps ErrTableFull plus the underlying cause
+// (allocation failure, migration failure, or the per-way cap).
+func (t *Table) place(e Entry, exclude int) (int, error) {
+	if kicks, ok := t.tryPlace(e, exclude); ok {
+		return kicks, nil
+	}
 	for attempt := 0; attempt < 3; attempt++ {
-		kicks, err := t.place(e, -1, 0)
-		if err == nil {
-			return depth + kicks, nil
-		}
 		if t.next != nil {
-			t.drainResize()
-			continue
+			if err := t.drainResize(); err != nil {
+				return 0, fmt.Errorf("%w: %w", ErrTableFull, err)
+			}
+		} else if err := t.forceUpsize(); err != nil {
+			return 0, fmt.Errorf("%w: %w", ErrTableFull, err)
 		}
-		if err2 := t.forceUpsize(); err2 != nil {
-			return depth, fmt.Errorf("%w after retries: %v", ErrTableFull, err2)
+		if kicks, ok := t.tryPlace(e, -1); ok {
+			return kicks, nil
 		}
 	}
-	return depth, ErrTableFull
+	return 0, ErrTableFull
+}
+
+// placeMigration places an entry displaced by the gradual rehash. Unlike
+// place it never forces progress: the caller is already inside the resize
+// machinery, and a nested drain could complete the resize and free the
+// very ways the caller must roll back into on failure. A bounded number of
+// fresh chains is attempted instead; each rolls back cleanly.
+func (t *Table) placeMigration(e Entry, exclude int) (int, error) {
+	if kicks, ok := t.tryPlace(e, exclude); ok {
+		return kicks, nil
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		if kicks, ok := t.tryPlace(e, -1); ok {
+			return kicks, nil
+		}
+	}
+	return 0, fmt.Errorf("displacement chain overflow in resize target (W=%d, max kicks %d)",
+		t.cfg.Ways, t.cfg.MaxKicks)
 }
 
 // forceUpsize starts an upsize regardless of occupancy, used to break
@@ -401,43 +467,46 @@ func (t *Table) startResize(newEntries uint64) error {
 }
 
 // rehashStep migrates up to batch entries from the live regions of the old
-// ways into the new table, advancing the rehash pointers round-robin.
-func (t *Table) rehashStep(batch int) {
+// ways into the new table, advancing the rehash pointers round-robin. On a
+// migration failure the step stops early; the failed entry was rolled back
+// and the resize stays in flight, to be retried by a later step.
+func (t *Table) rehashStep(batch int) error {
 	for n := 0; n < batch && t.next != nil; {
 		advanced := false
 		for i := 0; i < t.cfg.Ways && n < batch; i++ {
 			if t.rehashPtr[i] >= t.cur[i].size() {
 				continue
 			}
-			t.migrateOne(i)
+			if err := t.migrateOne(i); err != nil {
+				return err
+			}
 			n++
 			advanced = true
 		}
 		if !advanced {
 			t.finishResize()
-			return
+			return nil
 		}
 	}
 	if t.next != nil && t.rehashDone() {
 		t.finishResize()
 	}
+	return nil
 }
 
 // migrateOne rehashes the entry under way i's rehash pointer into the new
-// table and advances the pointer.
-func (t *Table) migrateOne(i int) {
+// table and advances the pointer. On failure the step is rolled back
+// exactly — entry restored, pointer rewound — and the error wraps
+// ErrMigrationFailed.
+func (t *Table) migrateOne(i int) error {
 	w := t.cur[i]
 	p := t.rehashPtr[i]
 	e := w.slots[p]
 	t.rehashPtr[i] = p + 1
 	if e.Key == EmptyKey {
-		return
+		return nil
 	}
 	w.slots[p].Key = EmptyKey
-	t.stats.Moves++
-	if t.cfg.Hooks.OnMove != nil {
-		t.cfg.Hooks.OnMove()
-	}
 	// Insert into the same way of the new table; conflicts cuckoo onward.
 	nw := t.next[i]
 	idx := nw.fn.Index(e.Key, nw.size())
@@ -452,15 +521,23 @@ func (t *Table) migrateOne(i int) {
 			t.cfg.Hooks.OnKick()
 		}
 		var err error
-		kicks, err = t.place(victim, i, 1)
+		kicks, err = t.placeMigration(victim, i)
 		if err != nil {
-			// With sane thresholds this cannot happen; make it loud.
-			panic(fmt.Sprintf("cuckoo: migration failed: %v", err))
+			nw.slots[idx] = victim
+			w.slots[p] = e
+			t.rehashPtr[i] = p
+			return fmt.Errorf("%w: %w", ErrMigrationFailed, err)
 		}
+		kicks++ // count the displacement out of the target slot
+	}
+	t.stats.Moves++
+	if t.cfg.Hooks.OnMove != nil {
+		t.cfg.Hooks.OnMove()
 	}
 	if t.cfg.Hooks.OnReinsertions != nil {
 		t.cfg.Hooks.OnReinsertions(kicks)
 	}
+	return nil
 }
 
 func (t *Table) rehashDone() bool {
@@ -472,16 +549,22 @@ func (t *Table) rehashDone() bool {
 	return true
 }
 
-// drainResize completes an in-flight resize synchronously.
-func (t *Table) drainResize() {
+// drainResize completes an in-flight resize synchronously. A migration
+// failure stops the drain with the resize still in flight (and the table
+// valid); the caller decides whether to retry or surface the error.
+func (t *Table) drainResize() error {
 	for t.next != nil {
-		t.rehashStep(1024)
+		if err := t.rehashStep(1024); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // DrainResize completes any in-flight gradual resize. Page-table callers use
-// it when tearing down a process.
-func (t *Table) DrainResize() { t.drainResize() }
+// it when tearing down a process. The error (if any) wraps
+// ErrMigrationFailed; the table remains valid and mid-resize.
+func (t *Table) DrainResize() error { return t.drainResize() }
 
 func (t *Table) finishResize() {
 	oldEntries := t.cur[0].size()

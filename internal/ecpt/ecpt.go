@@ -90,20 +90,14 @@ func NewTable(size addr.PageSize, alloc *phys.Allocator, cfg Config) (*Table, er
 			OnMove:         func() { t.stats.Moves++ },
 		},
 	}
-	// cuckoo.New invokes AllocWays for the initial ways and panics on
-	// failure; convert that to an error for the caller.
-	err := func() (err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				err = fmt.Errorf("ecpt: initial way allocation: %v", r)
-			}
-		}()
-		t.tb = cuckoo.New(ccfg)
-		return nil
-	}()
+	// cuckoo.Build invokes AllocWays for the initial ways; under memory
+	// pressure that can fail, and the error chain (down to
+	// phys.ErrOutOfMemory) is surfaced to the caller.
+	tb, err := cuckoo.Build(ccfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("ecpt: %w", err)
 	}
+	t.tb = tb
 	return t, nil
 }
 
@@ -188,8 +182,9 @@ func (t *Table) WayBytes() uint64 { return t.tb.EntriesPerWay() * pt.EntryBytes 
 // Resizing reports whether a gradual resize is in flight.
 func (t *Table) Resizing() bool { return t.tb.Resizing() }
 
-// DrainResize completes any in-flight resize.
-func (t *Table) DrainResize() { t.tb.DrainResize() }
+// DrainResize completes any in-flight resize. On a migration failure the
+// resize stays in flight and the table remains valid.
+func (t *Table) DrainResize() error { return t.tb.DrainResize() }
 
 // Insert stores key→val.
 func (t *Table) Insert(key, val uint64) (int, error) { return t.tb.Insert(key, val) }
@@ -215,9 +210,11 @@ func (t *Table) ProbeAddr(i int, key uint64) addr.PhysAddr {
 	return g.bases[i].Addr(addr.Page4K) + addr.PhysAddr(idx*pt.EntryBytes)
 }
 
-// Free releases all physical memory (process teardown).
+// Free releases all physical memory (process teardown). A drain failure is
+// ignored: every live group is freed below regardless of resize state, so
+// teardown never leaks frames.
 func (t *Table) Free() {
-	t.tb.DrainResize()
+	_ = t.tb.DrainResize()
 	for _, g := range t.groups {
 		wayBytes := g.entriesPerWay * pt.EntryBytes
 		for _, b := range g.bases {

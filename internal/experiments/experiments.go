@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -62,6 +63,24 @@ type Options struct {
 	// concurrently (the callback must be safe for that, e.g. a single
 	// fmt.Printf).
 	Progress func(done, total int, label string, elapsed time.Duration)
+	// Inject is a fault-injection policy spec (see inject.Parse) applied to
+	// every job's physical allocator; empty disables injection. Each job
+	// derives its injection seed from its own identity seed, so injected
+	// runs keep the bit-identical-at-any-worker-count contract.
+	Inject string
+	// FailFast aborts the remaining jobs of a matrix once any job fails
+	// (error, panic, or a Failed result). Canceled jobs report as failed.
+	// Fail-fast runs are NOT bit-identical across worker counts (which jobs
+	// were in flight when the abort flipped depends on scheduling), so it
+	// defaults to off.
+	FailFast bool
+	// Failures, if non-nil, collects one record per failed job across every
+	// driver invoked with these Options. Records are appended in submission
+	// order after each matrix completes, so the log's order is deterministic.
+	Failures *FailureLog
+	// Name labels the experiment currently running in failure records; the
+	// CLI sets it before invoking each driver.
+	Name string
 }
 
 // DefaultOptions returns the paper's configuration (full scale).
@@ -88,6 +107,54 @@ func TestOptions() Options {
 
 // specs returns the workloads at the configured scale.
 func (o Options) specs() []workload.Spec { return workload.Specs(o.Scale) }
+
+// JobFailure records one failed experiment job for the CLI's failure
+// summary: which experiment and job, why it failed, and — when the job
+// panicked rather than returning an error — the recovered stack trace.
+type JobFailure struct {
+	Experiment string `json:"experiment"`
+	Job        string `json:"job"`
+	Reason     string `json:"reason"`
+	Panicked   bool   `json:"panicked,omitempty"`
+	Stack      string `json:"stack,omitempty"`
+}
+
+// FailureLog is a concurrency-safe collection of JobFailure records shared
+// by every driver of a suite run via Options.Failures.
+type FailureLog struct {
+	mu   sync.Mutex
+	recs []JobFailure
+}
+
+func (l *FailureLog) add(f JobFailure) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recs = append(l.recs, f)
+}
+
+// Len returns the number of recorded failures.
+func (l *FailureLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// Failures returns a copy of the recorded failures in append order.
+func (l *FailureLog) Failures() []JobFailure {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]JobFailure, len(l.recs))
+	copy(out, l.recs)
+	return out
+}
+
+// noteFailure appends one failure record when a log is attached.
+func (o Options) noteFailure(job, reason string, panicked bool, stack string) {
+	if o.Failures != nil {
+		o.Failures.add(JobFailure{Experiment: o.Name, Job: job,
+			Reason: reason, Panicked: panicked, Stack: stack})
+	}
+}
 
 // runJob is one unit of an experiment matrix: a fully-described simulation
 // run. The identity fields (spec name, org, THP, ablation) feed the per-job
@@ -123,16 +190,58 @@ func pop(spec workload.Spec, org sim.Org, thp bool) runJob {
 // results in submission order. Every job builds its own sim.Machine (and
 // therefore its own page tables and RNGs) inside the worker — the ownership
 // rule that keeps the pool race-free; see package runner.
+//
+// Jobs run under per-job panic recovery (runner.MapSafe): a crashing job
+// becomes a Failed result carrying the panic message instead of taking the
+// matrix down, and — when Options.Failures is attached — a JobFailure record
+// with the recovered stack. With FailFast set, the first failure aborts the
+// unclaimed remainder of the matrix.
 func (o Options) run(jobs []runJob) []sim.Result {
 	var done atomic.Int64
-	return runner.Map(o.Parallel, jobs, func(_ int, j runJob) sim.Result {
+	var abort *atomic.Bool
+	if o.FailFast {
+		abort = new(atomic.Bool)
+	}
+	envs := runner.MapSafe(o.Parallel, jobs, abort, func(_ int, j runJob) (sim.Result, error) {
+		if abort != nil {
+			// Flip the abort on the way out of a panicking job too, then
+			// re-panic for MapSafe's recovery to capture the envelope.
+			defer func() {
+				if p := recover(); p != nil {
+					abort.Store(true)
+					panic(p)
+				}
+			}()
+		}
 		start := time.Now() //mehpt:allow detrand -- -progress wall-clock feedback for humans; never reaches a result
 		r := o.exec(j)
 		if o.Progress != nil {
 			o.Progress(int(done.Add(1)), len(jobs), j.label(), time.Since(start)) //mehpt:allow detrand -- elapsed time is display-only progress output
 		}
-		return r
+		if r.Failed && abort != nil {
+			abort.Store(true)
+		}
+		return r, nil
 	})
+	out := make([]sim.Result, len(envs))
+	for i, e := range envs {
+		j := jobs[i]
+		r := e.Value
+		switch {
+		case e.Panic != nil:
+			r = sim.Result{Org: j.org, Workload: j.spec.Name, THP: j.thp,
+				Failed: true, FailReason: fmt.Sprintf("panic: %v", e.Panic)}
+			o.noteFailure(j.label(), r.FailReason, true, e.Stack)
+		case e.Err != nil:
+			r = sim.Result{Org: j.org, Workload: j.spec.Name, THP: j.thp,
+				Failed: true, FailReason: e.Err.Error()}
+			o.noteFailure(j.label(), r.FailReason, false, "")
+		case r.Failed:
+			o.noteFailure(j.label(), r.FailReason, false, "")
+		}
+		out[i] = r
+	}
+	return out
 }
 
 // exec executes one job: build the machine, price allocations at the
@@ -149,6 +258,7 @@ func (o Options) exec(j runJob) sim.Result {
 		FMFI:         0, // no physical shredding
 		FreeFraction: 0.35,
 		MEHPTConfig:  j.mcfg,
+		Inject:       o.Inject,
 	}
 	if j.timed {
 		cfg.Accesses = o.TimedAccesses

@@ -1,0 +1,217 @@
+package inject
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/phys"
+)
+
+// req builds a minimal request for policy unit tests.
+func req(seq, size uint64) phys.AllocRequest {
+	return phys.AllocRequest{Size: size, Order: phys.OrderFor(size), Seq: seq,
+		FreeBytes: 64 * addr.MB, TotalBytes: 64 * addr.MB}
+}
+
+func TestEveryNth(t *testing.T) {
+	p := EveryNth{N: 3}
+	for seq := uint64(1); seq <= 12; seq++ {
+		want := seq%3 == 0
+		if got := p.ShouldFail(req(seq, 4096)); got != want {
+			t.Errorf("nth=3 seq %d: got %v, want %v", seq, got, want)
+		}
+	}
+	if (EveryNth{}).ShouldFail(req(1, 4096)) {
+		t.Error("nth=0 must never fail")
+	}
+}
+
+func TestAfterN(t *testing.T) {
+	p := AfterN{N: 5}
+	for seq := uint64(1); seq <= 10; seq++ {
+		if got, want := p.ShouldFail(req(seq, 4096)), seq > 5; got != want {
+			t.Errorf("after=5 seq %d: got %v, want %v", seq, got, want)
+		}
+	}
+}
+
+func TestPressure(t *testing.T) {
+	p := Pressure{UsedFraction: 0.5}
+	r := phys.AllocRequest{Seq: 1, TotalBytes: 100, FreeBytes: 60}
+	if p.ShouldFail(r) {
+		t.Error("40% used must pass a 0.5 ceiling")
+	}
+	r.FreeBytes = 40
+	if !p.ShouldFail(r) {
+		t.Error("60% used must fail a 0.5 ceiling")
+	}
+	r.TotalBytes = 0
+	if p.ShouldFail(r) {
+		t.Error("zero-capacity request must never fail (no pressure defined)")
+	}
+}
+
+func TestMinSize(t *testing.T) {
+	p := MinSize{Bytes: 64 * addr.KB}
+	if p.ShouldFail(req(1, 4*addr.KB)) {
+		t.Error("small allocation must pass")
+	}
+	if !p.ShouldFail(req(1, 64*addr.KB)) || !p.ShouldFail(req(1, 8*addr.MB)) {
+		t.Error("allocation at/above the threshold must fail")
+	}
+}
+
+// TestRandomDeterminism: same seed -> identical decision stream; the stream
+// is a pure function of the seed and the attempt sequence.
+func TestRandomDeterminism(t *testing.T) {
+	a, b := NewRandom(0.3, 7), NewRandom(0.3, 7)
+	var fails int
+	for seq := uint64(1); seq <= 2000; seq++ {
+		da, db := a.ShouldFail(req(seq, 4096)), b.ShouldFail(req(seq, 4096))
+		if da != db {
+			t.Fatalf("seq %d: same-seed policies disagree", seq)
+		}
+		if da {
+			fails++
+		}
+	}
+	if fails < 400 || fails > 800 {
+		t.Errorf("rate=0.3 over 2000 attempts injected %d times; want ~600", fails)
+	}
+}
+
+// TestAnyConsultsAllMembers: Any must never short-circuit, so a stateful
+// Random member consumes exactly one draw per attempt regardless of the
+// other members' decisions.
+func TestAnyConsultsAllMembers(t *testing.T) {
+	const seed = 9
+	p := Any{EveryNth{N: 2}, NewRandom(0.5, seed)}
+	ref := rand.New(rand.NewSource(seed))
+	for seq := uint64(1); seq <= 500; seq++ {
+		wantRand := ref.Float64() < 0.5
+		want := seq%2 == 0 || wantRand
+		if got := p.ShouldFail(req(seq, 4096)); got != want {
+			t.Fatalf("seq %d: got %v, want %v (random member out of sync)", seq, got, want)
+		}
+	}
+}
+
+func TestParseValid(t *testing.T) {
+	cases := []struct{ spec, str string }{
+		{"nth=7", "nth=7"},
+		{"after=100", "after=100"},
+		{"rate=0.05", "rate=0.05"},
+		{"pressure=0.9", "pressure=0.9"},
+		{"big=1MB", "big=1048576"},
+		{"big=4096", "big=4096"},
+		{" nth=3 + big=8KB ", "nth=3+big=8192"},
+		{"pressure=0.9+big=1MB+nth=2", "pressure=0.9+big=1048576+nth=2"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.spec, 1)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if p.String() != c.str {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.spec, p.String(), c.str)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "nth", "nth=", "nth=0", "nth=-1", "nth=x",
+		"after=x", "rate=2", "rate=-0.1", "rate=x",
+		"pressure=1.5", "pressure=x", "big=", "big=7XB", "big=MB",
+		"bogus=1", "nth=3+bogus=1", "nth=3++big=1MB",
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", spec)
+		}
+	}
+}
+
+// TestParseRateSeeding: the same seed reproduces the rate clause's stream;
+// composed rate clauses get unrelated streams.
+func TestParseRateSeeding(t *testing.T) {
+	stream := func(seed int64) []bool {
+		p, err := Parse("rate=0.5", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 300)
+		for i := range out {
+			out[i] = p.ShouldFail(req(uint64(i+1), 4096))
+		}
+		return out
+	}
+	a, b, c := stream(11), stream(11), stream(12)
+	same := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Error("same seed must reproduce the decision stream")
+	}
+	if same(a, c) {
+		t.Error("different seeds produced identical 300-draw streams")
+	}
+}
+
+// TestInjectorErrorChain: injected failures must look like genuine
+// exhaustion to callers (wrap phys.ErrOutOfMemory) while staying
+// identifiable as injected (wrap ErrInjected), and must be counted on both
+// the injector and the allocator.
+func TestInjectorErrorChain(t *testing.T) {
+	mem := phys.NewMemory(1 * addr.MB)
+	alloc := phys.NewAllocator(mem, 0.7)
+	in := Attach(alloc, EveryNth{N: 2})
+
+	if _, _, err := alloc.Alloc(4096); err != nil {
+		t.Fatalf("attempt 1 (not a multiple of 2) must pass: %v", err)
+	}
+	_, _, err := alloc.Alloc(4096)
+	if err == nil {
+		t.Fatal("attempt 2 must be injected")
+	}
+	if !errors.Is(err, phys.ErrOutOfMemory) {
+		t.Errorf("injected error must wrap phys.ErrOutOfMemory: %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("injected error must wrap ErrInjected: %v", err)
+	}
+	if !strings.Contains(err.Error(), "nth=2") {
+		t.Errorf("error should name the policy: %v", err)
+	}
+	if s := in.Stats(); s.Attempts != 2 || s.Injected != 1 {
+		t.Errorf("injector stats = %+v, want 2 attempts / 1 injected", s)
+	}
+	if got := mem.Stats().FailedAllocs; got != 1 {
+		t.Errorf("allocator FailedAllocs = %d, want 1", got)
+	}
+}
+
+// TestRollbackBypassesInjection: AllocRollback must succeed even under an
+// always-fail policy — failed resizes restore their old geometry through it.
+func TestRollbackBypassesInjection(t *testing.T) {
+	mem := phys.NewMemory(1 * addr.MB)
+	alloc := phys.NewAllocator(mem, 0.7)
+	Attach(alloc, EveryNth{N: 1}) // fail every attempt
+
+	if _, _, err := alloc.Alloc(4096); err == nil {
+		t.Fatal("Alloc must be injected under nth=1")
+	}
+	ppn, _, err := alloc.AllocRollback(4096)
+	if err != nil {
+		t.Fatalf("AllocRollback must bypass injection: %v", err)
+	}
+	alloc.Free(ppn, 4096)
+}

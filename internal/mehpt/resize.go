@@ -89,10 +89,19 @@ func (t *Table) maybeResizeAllWays() uint64 {
 // out-of-place rebuild at the next chunk size (a chunk-size transition), or
 // (c) a gradual out-of-place resize into a separate pending store (the
 // no-in-place ablation).
+//
+// Under memory pressure the in-place paths degrade down a ladder instead of
+// failing outright: if the extension or transition cannot allocate, the way
+// retries out of place over the full chunk ladder — smaller rungs trade L2P
+// entries for allocability — and only if that also fails is the resize
+// deferred with ErrResizeFailed, leaving the way valid at its old geometry
+// for maybeResize to retry later.
 func (t *Table) upsizeWay(i int) (uint64, error) {
 	w := t.ways[i]
 	if w.resizing {
-		t.drainWay(w)
+		if err := t.drainWay(w); err != nil {
+			return 0, fmt.Errorf("%w: way %d: %w", ErrResizeFailed, i, err)
+		}
 	}
 	newSize := w.size * 2
 	targetBytes := newSize * pt.EntryBytes
@@ -101,28 +110,41 @@ func (t *Table) upsizeWay(i int) (uint64, error) {
 		if w.store.CanExtendInPlace(targetBytes) {
 			cycles, err := w.store.Extend(targetBytes)
 			t.noteAlloc(w.store.ChunkBytes(), cycles)
-			if err != nil {
-				return cycles, err
+			if err == nil {
+				w.beginResize(newSize)
+				t.stats.UpsizesPerWay[i]++
+				t.notePeak()
+				return cycles, nil
 			}
-			w.beginResize(newSize)
+			c2, err2 := t.upsizeOutOfPlace(w, newSize, t.ladder())
+			cycles += c2
+			if err2 != nil {
+				return cycles, fmt.Errorf("%w: way %d: %w (out-of-place fallback: %v)",
+					ErrResizeFailed, i, err, err2)
+			}
+			return cycles, nil
+		}
+		cycles, err := t.transitionWay(w, newSize)
+		if err == nil {
 			t.stats.UpsizesPerWay[i]++
 			t.notePeak()
 			return cycles, nil
 		}
-		cycles, err := t.transitionWay(w, newSize)
-		if err != nil {
-			return cycles, err
+		// The transition rolled back; the way still runs at the old rung.
+		c2, err2 := t.upsizeOutOfPlace(w, newSize, t.ladder())
+		cycles += c2
+		if err2 != nil {
+			return cycles, fmt.Errorf("%w: way %d: %w (out-of-place fallback: %v)",
+				ErrResizeFailed, i, err, err2)
 		}
-		t.stats.UpsizesPerWay[i]++
-		t.notePeak()
 		return cycles, nil
 	}
 
-	// Out-of-place: allocate a separate new backing; old and new coexist
-	// until the gradual rehash completes — the memory cost Section IV-C
-	// eliminates.
-	pending, cycles, err := chunk.NewStoreLadder(t.alloc, t.l2p, i, t.size,
-		targetBytes, t.ladderFrom(w.store.ChunkBytes()))
+	// Out-of-place ablation: allocate a separate new backing; old and new
+	// coexist until the gradual rehash completes — the memory cost Section
+	// IV-C eliminates. The new backing never uses smaller chunks than the
+	// way already graduated to.
+	cycles, err := t.upsizeOutOfPlace(w, newSize, t.ladderFrom(w.store.ChunkBytes()))
 	if err != nil {
 		if errors.Is(err, chunk.ErrL2PFull) {
 			// Even the largest rung cannot fit alongside the old chunks:
@@ -130,18 +152,32 @@ func (t *Table) upsizeWay(i int) (uint64, error) {
 			c2, err2 := t.transitionWay(w, newSize)
 			cycles += c2
 			if err2 != nil {
-				return cycles, err2
+				return cycles, fmt.Errorf("%w: way %d: %w", ErrResizeFailed, i, err2)
 			}
 			t.stats.UpsizesPerWay[i]++
 			t.notePeak()
 			return cycles, nil
 		}
+		return cycles, fmt.Errorf("%w: way %d: %w", ErrResizeFailed, i, err)
+	}
+	return cycles, nil
+}
+
+// upsizeOutOfPlace starts a gradual out-of-place upsize of way w into a
+// separate pending store drawn from the given ladder. It is both the
+// no-in-place ablation's normal path and the in-place mode's degradation
+// fallback (where the full ladder lets small chunks stand in when large
+// contiguous blocks are unavailable).
+func (t *Table) upsizeOutOfPlace(w *way, newSize uint64, ladder []uint64) (uint64, error) {
+	pending, cycles, err := chunk.NewStoreLadder(t.alloc, t.l2p, w.idx, t.size,
+		newSize*pt.EntryBytes, ladder)
+	if err != nil {
 		return cycles, err
 	}
 	t.noteAlloc(pending.ChunkBytes(), cycles)
 	w.pending = pending
 	w.beginResize(newSize)
-	t.stats.UpsizesPerWay[i]++
+	t.stats.UpsizesPerWay[w.idx]++
 	t.notePeak()
 	return cycles, nil
 }
@@ -174,6 +210,7 @@ func (t *Table) transitionWay(w *way, newSize uint64) (uint64, error) {
 	cycles, err := w.store.Transition(targetBytes)
 	t.noteAlloc(w.store.ChunkBytes(), cycles)
 	if err != nil {
+		// The store rolled back to the old rung; the way is untouched.
 		return cycles, err
 	}
 	t.stats.Transitions++
@@ -189,8 +226,11 @@ func (t *Table) transitionWay(w *way, newSize uint64) (uint64, error) {
 			w.occ++
 			continue
 		}
-		if _, err := t.place(e, w.idx, 1, false); err != nil {
-			panic(fmt.Sprintf("mehpt: transition reinsert failed: %v", err))
+		if _, err := t.placeMigration(e, w.idx); err != nil {
+			// The old store is gone, so this entry cannot be rolled back
+			// into it; spill to the software stash instead. It stays fully
+			// visible to lookups and drains back on later inserts.
+			t.stashPut(e)
 		}
 	}
 	return cycles, nil
@@ -201,7 +241,11 @@ func (t *Table) transitionWay(w *way, newSize uint64) (uint64, error) {
 func (t *Table) downsizeWay(i int) uint64 {
 	w := t.ways[i]
 	if w.resizing {
-		t.drainWay(w)
+		if err := t.drainWay(w); err != nil {
+			// Downsizing is an optimization; skip it while migration is
+			// stalled and let a later pass retry.
+			return 0
+		}
 	}
 	newSize := w.size / 2
 	if newSize < t.cfg.InitialEntries {
@@ -226,16 +270,20 @@ func (t *Table) downsizeWay(i int) uint64 {
 	return cycles
 }
 
-// drainWay completes way w's in-flight resize synchronously. migrateOne can
-// recurse and finish the resize underneath us, so every step re-checks.
-func (t *Table) drainWay(w *way) {
+// drainWay completes way w's in-flight resize synchronously. A stalled
+// migration stops the drain with the resize still in flight; the way stays
+// valid and a later tick retries.
+func (t *Table) drainWay(w *way) error {
 	for w.resizing {
 		for w.resizing && w.ptr < w.size {
-			t.migrateOne(w)
+			if _, err := t.migrateOne(w); err != nil {
+				return err
+			}
 		}
 		if w.resizing {
 			w.finishResize()
 			t.notePeak()
 		}
 	}
+	return nil
 }

@@ -21,8 +21,24 @@ import (
 )
 
 // ErrTableFull is returned when an insertion cannot be satisfied even after
-// forcing resizes (memory exhausted or ladder exhausted).
+// forcing resizes (memory exhausted or ladder exhausted). The error chain
+// carries the underlying cause, down to phys.ErrOutOfMemory for genuine or
+// injected allocation failures; the rejected entry is never left partially
+// placed.
 var ErrTableFull = errors.New("mehpt: table full")
+
+// ErrResizeFailed is returned when a way upsize fails at every rung of the
+// degradation ladder (in-place extension, chunk-size transition, and the
+// out-of-place fallback over smaller chunks). The resize is deferred — the
+// way stays valid at its old geometry and maybeResize retries on a later
+// insert — and the chain carries the underlying allocation failure.
+var ErrResizeFailed = errors.New("mehpt: way resize failed; deferred")
+
+// ErrMigrationFailed is returned when a gradual-rehash migration step
+// cannot re-place a displaced entry. The step is rolled back exactly —
+// entry restored, rehash pointer rewound — so the table stays valid and
+// the migration retries on a later tick with fresh displacement choices.
+var ErrMigrationFailed = errors.New("mehpt: gradual-rehash migration failed")
 
 // Config parameterizes an ME-HPT. The zero value is not usable; call
 // DefaultConfig.
@@ -72,6 +88,8 @@ type Stats struct {
 	Downsizes                 uint64
 	Transitions               uint64 // chunk-size switches (out-of-place)
 	FailedUpsizes             uint64
+	Stalls                    uint64 // migration steps rolled back (retried later)
+	Stashed                   uint64 // entries spilled to the software stash
 	// Moved/Stayed count rehashed entries that did/did not change slots
 	// during in-place upsizes (Figure 13: fraction moved ≈ 0.5).
 	UpsizeMoved, UpsizeStayed uint64
@@ -92,6 +110,13 @@ type Table struct {
 	slab  *pt.Slab
 	rng   *rand.Rand
 	stats Stats
+	// stash is the software overflow list: entries the table accepted but
+	// could not re-place during a degraded resize (e.g. a transition
+	// reinsert under memory pressure). The OS keeps such entries in a
+	// software-walked side structure; lookups consult it after the W hash
+	// probes, and inserts drain it back opportunistically. A slice (not a
+	// map) so drain order is deterministic.
+	stash []cuckoo.Entry
 }
 
 // NewTable creates an ME-HPT for one page size. Every way starts at the
@@ -124,6 +149,11 @@ func NewTable(size addr.PageSize, alloc *phys.Allocator, tbl *l2p.Table, slab *p
 		st, cycles, err := chunk.NewStoreLadder(alloc, tbl, i, size,
 			cfg.InitialEntries*pt.EntryBytes, t.ladder())
 		if err != nil {
+			// Release the ways already built: a failed construction must not
+			// strand their chunks (the caller retries on a later mapping).
+			for _, w := range t.ways {
+				w.store.Free()
+			}
 			return nil, fmt.Errorf("mehpt: initial way %d: %w", i, err)
 		}
 		t.noteAlloc(st.ChunkBytes(), cycles)
@@ -190,14 +220,19 @@ func (t *Table) WayChunkBytes() []uint64 {
 	return cs
 }
 
-// Len returns the number of clustered entries stored.
+// Len returns the number of clustered entries stored, including any held
+// in the software stash.
 func (t *Table) Len() uint64 {
-	var n uint64
+	n := uint64(len(t.stash))
 	for _, w := range t.ways {
 		n += w.occ
 	}
 	return n
 }
+
+// StashLen returns the number of entries currently in the software stash
+// (nonzero only after degraded resizes under memory pressure).
+func (t *Table) StashLen() int { return len(t.stash) }
 
 // PageSize returns the page size this table translates.
 func (t *Table) PageSize() addr.PageSize { return t.size }
@@ -223,11 +258,25 @@ func (t *Table) lookupSlot(key uint64) (int, uint64, bool) {
 	return 0, 0, false
 }
 
-// Lookup returns the cluster id stored for key.
+// stashIndex returns the stash position of key, or -1.
+func (t *Table) stashIndex(key uint64) int {
+	for i, e := range t.stash {
+		if e.Key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lookup returns the cluster id stored for key, consulting the software
+// stash after the W hash probes (the OS-walked overflow path).
 func (t *Table) Lookup(key uint64) (uint64, bool) {
 	t.stats.Lookups++
 	if i, idx, ok := t.lookupSlot(key); ok {
 		return t.ways[i].slots[idx].Val, true
+	}
+	if si := t.stashIndex(key); si >= 0 {
+		return t.stash[si].Val, true
 	}
 	return 0, false
 }
@@ -239,13 +288,21 @@ func (t *Table) Insert(key, val uint64) (kicks int, cycles uint64, err error) {
 		t.ways[i].slots[idx].Val = val
 		return 0, 0, nil
 	}
-	cycles += t.rehashTick()
-	kicks, err = t.place(cuckoo.Entry{Key: key, Val: val}, -1, 0, true)
+	if si := t.stashIndex(key); si >= 0 {
+		t.stash[si].Val = val
+		return 0, 0, nil
+	}
+	// A stalled migration is not fatal to this insert: the stuck entry was
+	// rolled back and stays reachable; a later tick retries it.
+	c, _ := t.rehashTick()
+	cycles += c
+	kicks, err = t.place(cuckoo.Entry{Key: key, Val: val}, -1, true)
 	if err != nil {
 		return kicks, cycles, err
 	}
 	t.stats.Inserts++
 	t.stats.Reinsertions.Add(kicks)
+	t.drainStash()
 	cycles += t.maybeResize()
 	t.notePeak()
 	return kicks, cycles, nil
@@ -255,6 +312,11 @@ func (t *Table) Insert(key, val uint64) (kicks int, cycles uint64, err error) {
 func (t *Table) Delete(key uint64) (uint64, bool) {
 	i, idx, ok := t.lookupSlot(key)
 	if !ok {
+		if si := t.stashIndex(key); si >= 0 {
+			t.stash = append(t.stash[:si], t.stash[si+1:]...)
+			t.stats.Deletes++
+			return 0, true
+		}
 		return 0, false
 	}
 	w := t.ways[i]
@@ -334,36 +396,92 @@ func (t *Table) maxWaySize() uint64 {
 	return max
 }
 
-// place inserts e, displacing occupants cuckoo-style. weighted selects the
-// weighted policy for the first placement; kicks always use uniform-other.
-func (t *Table) place(e cuckoo.Entry, exclude, depth int, weighted bool) (int, error) {
-	if depth > t.cfg.MaxKicks {
-		if err := t.breakChain(); err != nil {
-			return depth, err
+// undo is one journal record of tryPlace's displacement chain.
+type undo struct {
+	w    *way
+	idx  uint64
+	prev cuckoo.Entry
+}
+
+// tryPlace attempts to insert e, displacing occupants cuckoo-style for at
+// most MaxKicks displacements. weighted selects the weighted policy for
+// the first placement; kicks always use uniform-other. Every slot write is
+// journaled; if the chain overflows, the journal is replayed in reverse —
+// restored entries are republished to the OnWayChange hook — and the table
+// is left exactly as it was: a failed placement never evicts a previously
+// accepted entry.
+func (t *Table) tryPlace(e cuckoo.Entry, exclude int, weighted bool) (int, bool) {
+	var journal []undo
+	kicks := 0
+	for {
+		var i int
+		if weighted && kicks == 0 {
+			i = t.pickInsertWay(exclude)
+		} else {
+			i = t.pickUniform(exclude)
 		}
-		return t.placeRetry(e, depth)
-	}
-	var i int
-	if weighted && depth == 0 {
-		i = t.pickInsertWay(exclude)
-	} else {
-		i = t.pickUniform(exclude)
-	}
-	w := t.ways[i]
-	idx := w.locate(e.Key)
-	if w.slots[idx].Key == cuckoo.EmptyKey {
+		w := t.ways[i]
+		idx := w.locate(e.Key)
+		prev := w.slots[idx]
+		journal = append(journal, undo{w, idx, prev})
 		w.slots[idx] = e
-		w.occ++
 		t.noteWay(e.Key, i)
-		return depth, nil
+		if prev.Key == cuckoo.EmptyKey {
+			// Only the chain's final empty-slot placement increments a way:
+			// every intermediate way lost its victim but gained the incomer.
+			w.occ++
+			return kicks, true
+		}
+		t.stats.Kicks++
+		kicks++
+		if kicks > t.cfg.MaxKicks {
+			for j := len(journal) - 1; j >= 0; j-- {
+				u := journal[j]
+				u.w.slots[u.idx] = u.prev
+				if u.prev.Key != cuckoo.EmptyKey {
+					t.noteWay(u.prev.Key, u.w.idx)
+				}
+			}
+			return kicks, false
+		}
+		e, exclude = prev, i
 	}
-	victim := w.slots[idx]
-	w.slots[idx] = e
-	t.noteWay(e.Key, i)
-	t.stats.Kicks++
-	// Way i's occupancy is unchanged: the victim left but e arrived. Only
-	// the chain's final empty-slot placement increments a way.
-	return t.place(victim, i, depth+1, false)
+}
+
+// place inserts e, forcing progress between bounded placement attempts
+// (breakChain: drain in-flight resizes or upsize the smallest way). On
+// failure the table is unchanged and the error wraps ErrTableFull plus the
+// underlying cause.
+func (t *Table) place(e cuckoo.Entry, exclude int, weighted bool) (int, error) {
+	if kicks, ok := t.tryPlace(e, exclude, weighted); ok {
+		return kicks, nil
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		if err := t.breakChain(); err != nil {
+			return 0, err
+		}
+		if kicks, ok := t.tryPlace(e, -1, false); ok {
+			return kicks, nil
+		}
+	}
+	return 0, ErrTableFull
+}
+
+// placeMigration places an entry displaced by a resize or rebuilt by a
+// transition. Unlike place it never forces progress: the caller is already
+// inside the resize machinery, and a nested drain or upsize could invalidate
+// the state the caller must roll back into on failure. A bounded number of
+// fresh chains is attempted instead; each rolls back cleanly.
+func (t *Table) placeMigration(e cuckoo.Entry, exclude int) (int, error) {
+	if kicks, ok := t.tryPlace(e, exclude, false); ok {
+		return kicks, nil
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		if kicks, ok := t.tryPlace(e, -1, false); ok {
+			return kicks, nil
+		}
+	}
+	return 0, fmt.Errorf("displacement chain overflow during migration (max kicks %d)", t.cfg.MaxKicks)
 }
 
 // noteWay publishes a placement to the OnWayChange hook.
@@ -377,7 +495,9 @@ func (t *Table) noteWay(key uint64, way int) {
 // drain in-flight resizes; if none, force-upsize the smallest way.
 func (t *Table) breakChain() error {
 	if t.Resizing() {
-		t.drainResizes()
+		if err := t.drainResizes(); err != nil {
+			return fmt.Errorf("%w: %w", ErrTableFull, err)
+		}
 		return nil
 	}
 	// Upsize the smallest way (always permitted by the balance rule).
@@ -389,37 +509,55 @@ func (t *Table) breakChain() error {
 	}
 	_, err := t.upsizeWay(smallest)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrTableFull, err)
+		return fmt.Errorf("%w: %w", ErrTableFull, err)
 	}
 	return nil
 }
 
-func (t *Table) placeRetry(e cuckoo.Entry, depth int) (int, error) {
-	for attempt := 0; attempt < 4; attempt++ {
-		kicks, err := t.place(e, -1, 0, false)
-		if err == nil {
-			return depth + kicks, nil
+// stashPut spills an entry to the software stash (a degraded resize could
+// not re-place it). The entry stays fully visible to Lookup/Delete and is
+// drained back by later inserts.
+func (t *Table) stashPut(e cuckoo.Entry) {
+	t.stash = append(t.stash, e)
+	t.stats.Stashed++
+}
+
+// drainStash opportunistically moves stashed entries back into the ways,
+// stopping at the first one that still does not fit.
+func (t *Table) drainStash() {
+	for len(t.stash) > 0 {
+		e := t.stash[len(t.stash)-1]
+		kicks, ok := t.tryPlace(e, -1, false)
+		if !ok {
+			return
 		}
-		if err2 := t.breakChain(); err2 != nil {
-			return depth, err2
-		}
+		t.stash = t.stash[:len(t.stash)-1]
+		t.stats.Reinsertions.Add(kicks)
 	}
-	return depth, ErrTableFull
 }
 
 // rehashTick advances every in-flight resize by RehashBatch elements,
 // reusing the OS invocation the triggering insert provides (Section II-B).
-func (t *Table) rehashTick() uint64 {
+// A stalled migration stops that way's progress for this tick — the entry
+// was rolled back and the pointer rewound — and the first stall error is
+// returned; later ticks retry with fresh displacement choices.
+func (t *Table) rehashTick() (uint64, error) {
 	var cycles uint64
+	var firstErr error
 	for _, w := range t.ways {
 		if !w.resizing {
 			continue
 		}
 		moved := 0
-		// migrateOne can recurse into this table (a conflict placement may
-		// force-drain resizes), so re-check w.resizing at every step.
 		for w.resizing && moved < t.cfg.RehashBatch && w.ptr < w.size {
-			if t.migrateOne(w) {
+			ok, err := t.migrateOne(w)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				break
+			}
+			if ok {
 				moved++
 			}
 		}
@@ -428,17 +566,19 @@ func (t *Table) rehashTick() uint64 {
 			t.notePeak()
 		}
 	}
-	return cycles
+	return cycles, firstErr
 }
 
 // migrateOne rehashes the entry under w's rehash pointer. It returns true
-// if an element was processed (as opposed to skipping an empty slot).
-func (t *Table) migrateOne(w *way) bool {
+// if an element was processed (as opposed to skipping an empty slot). On
+// failure the step is rolled back exactly — entry restored, pointer rewound
+// — and the error wraps ErrMigrationFailed.
+func (t *Table) migrateOne(w *way) (bool, error) {
 	p := w.ptr
 	w.ptr++
 	e := w.slots[p]
 	if e.Key == cuckoo.EmptyKey {
-		return false
+		return false, nil
 	}
 	h := w.fn.Hash(e.Key)
 	newIdx := h & (w.newSize - 1)
@@ -450,14 +590,10 @@ func (t *Table) migrateOne(w *way) bool {
 			t.stats.UpsizeStayed++
 		}
 		t.stats.Reinsertions.Add(0)
-		return true
+		return true, nil
 	}
 	w.slots[p].Key = cuckoo.EmptyKey
 	w.slots[p].Val = 0
-	t.stats.MovesTotal++
-	if w.up {
-		t.stats.UpsizeMoved++
-	}
 	kicks := 0
 	if w.slots[newIdx].Key == cuckoo.EmptyKey {
 		w.slots[newIdx] = e
@@ -466,38 +602,55 @@ func (t *Table) migrateOne(w *way) bool {
 		// during the resize: cuckoo the incoming entry into another way.
 		w.occ--
 		var err error
-		kicks, err = t.place(e, w.idx, 1, false)
+		kicks, err = t.placeMigration(e, w.idx)
 		if err != nil {
-			panic(fmt.Sprintf("mehpt: migration failed: %v", err))
+			w.occ++
+			w.slots[p] = e
+			w.ptr = p
+			t.stats.Stalls++
+			return false, fmt.Errorf("%w: %w", ErrMigrationFailed, err)
 		}
 		t.stats.Kicks++
 		kicks++ // count the displacement out of this way
 	}
+	t.stats.MovesTotal++
+	if w.up {
+		t.stats.UpsizeMoved++
+	}
 	t.stats.Reinsertions.Add(kicks)
-	return true
+	return true, nil
 }
 
-// drainResizes completes all in-flight resizes synchronously.
-func (t *Table) drainResizes() {
+// drainResizes completes all in-flight resizes synchronously. A stalled
+// migration stops the drain with the resize still in flight (and the table
+// valid); the caller decides whether to retry or surface the error.
+func (t *Table) drainResizes() error {
 	for t.Resizing() {
-		t.rehashTick()
+		if _, err := t.rehashTick(); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // DrainResizes completes any in-flight gradual resizes (process teardown,
-// test determinism).
-func (t *Table) DrainResizes() { t.drainResizes() }
+// test determinism). The error (if any) wraps ErrMigrationFailed; the
+// table remains valid and mid-resize.
+func (t *Table) DrainResizes() error { return t.drainResizes() }
 
 // Settle repeatedly drains resizes and re-evaluates the resizing policy
 // until the table reaches a fixed point. Gradual resizes normally advance
 // only on inserts, so after a burst of deletes several pending downsizes may
 // be queued behind one another; Settle applies them all.
-func (t *Table) Settle() {
+func (t *Table) Settle() error {
 	for i := 0; i < 64; i++ {
-		t.drainResizes()
+		if err := t.drainResizes(); err != nil {
+			return err
+		}
 		t.maybeResize()
 		if !t.Resizing() {
-			return
+			return nil
 		}
 	}
+	return nil
 }

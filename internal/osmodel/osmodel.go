@@ -5,12 +5,42 @@
 package osmodel
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/addr"
 	"repro/internal/phys"
 	"repro/internal/pt"
 )
+
+// PressureError is the typed error the OS model surfaces when a fault
+// cannot be serviced because of memory pressure: the data-frame allocation
+// or the page-table mapping failed after every degradation rung (huge-page
+// fallback, resize deferral, software stash). The wrapped chain reaches
+// phys.ErrOutOfMemory — use errors.As to recover the fault context and
+// errors.Is(err, phys.ErrOutOfMemory) to test the cause.
+type PressureError struct {
+	VA  addr.VirtAddr // faulting virtual address
+	Op  string        // "data-alloc" or "pt-map"
+	Err error         // underlying cause chain
+}
+
+func (e *PressureError) Error() string {
+	return fmt.Sprintf("osmodel: fault at %#x: %s: %v", uint64(e.VA), e.Op, e.Err)
+}
+
+func (e *PressureError) Unwrap() error { return e.Err }
+
+// opError tags mapPage failures with the failing operation so HandleFault
+// can build the PressureError without string matching.
+type opError struct {
+	op  string
+	err error
+}
+
+func (e *opError) Error() string { return e.op + ": " + e.err.Error() }
+
+func (e *opError) Unwrap() error { return e.err }
 
 // PageTable is the mapping interface all three organizations provide.
 type PageTable interface {
@@ -100,7 +130,14 @@ func (o *OS) HandleFault(va addr.VirtAddr) (uint64, error) {
 	cycles += c
 	o.stats.FaultCycles += cycles
 	if err != nil {
-		return cycles, fmt.Errorf("osmodel: fault at %#x: %w", uint64(va), err)
+		op := "map"
+		var oe *opError
+		if errors.As(err, &oe) {
+			// Lift the tag into the PressureError and wrap the tag's cause
+			// directly so the op is not printed twice.
+			op, err = oe.op, oe.err
+		}
+		return cycles, &PressureError{VA: va, Op: op, Err: err}
 	}
 	return cycles, nil
 }
@@ -110,7 +147,7 @@ func (o *OS) mapPage(va addr.VirtAddr, s addr.PageSize) (uint64, error) {
 	o.stats.DataAllocCycles += allocCycles
 	cycles := allocCycles
 	if err != nil {
-		return cycles, err
+		return cycles, &opError{op: "data-alloc", err: err}
 	}
 	// The buddy allocator hands out 4KB-frame numbers; convert to a frame
 	// number at the mapping's page size.
@@ -120,7 +157,7 @@ func (o *OS) mapPage(va addr.VirtAddr, s addr.PageSize) (uint64, error) {
 	cycles += ptCycles
 	if err != nil {
 		o.alloc.Free(frame, s.Bytes())
-		return cycles, fmt.Errorf("osmodel: page-table map failed: %w", err)
+		return cycles, &opError{op: "pt-map", err: err}
 	}
 	return cycles, nil
 }

@@ -249,6 +249,22 @@ func (m *Memory) FMFI(order int) float64 {
 	return 1 - usable/total
 }
 
+// FreeBlockCounts returns the live free-block count per order. Together with
+// FreeBytes it fingerprints the allocator's free-list state: two states with
+// equal counts at every order are interchangeable for future allocations, so
+// leak detectors (the fault-injection sweep, the exhaustion-cycle tests)
+// compare it against a baseline after teardown.
+func (m *Memory) FreeBlockCounts() []uint64 {
+	counts := make([]uint64, m.maxOrder+1)
+	copy(counts, m.freeBlk[:m.maxOrder+1])
+	return counts
+}
+
+// noteFailedAlloc counts an allocation attempt vetoed before reaching the
+// buddy search (fault injection), keeping FailedAllocs meaningful for both
+// genuine and injected failures.
+func (m *Memory) noteFailedAlloc() { m.stats.FailedAllocs++ }
+
 // CanAlloc reports whether a block of the given order is currently available.
 func (m *Memory) CanAlloc(order int) bool {
 	for o := order; o <= m.maxOrder; o++ {

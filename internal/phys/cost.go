@@ -97,6 +97,27 @@ func (c CostModel) CyclesAtRef(size uint64) uint64 {
 	return c.Cycles(size, ref)
 }
 
+// AllocRequest describes one contiguous-allocation attempt, as seen by an
+// AllocHook before the buddy allocator is consulted.
+type AllocRequest struct {
+	Size  uint64 // requested bytes, pre-rounding
+	Order int    // buddy order that will serve the request
+	Seq   uint64 // 1-based index of this attempt on the allocator
+	// FreeBytes and TotalBytes snapshot the buddy state at request time, so
+	// pressure-threshold policies can act on actual memory conditions.
+	FreeBytes  uint64
+	TotalBytes uint64
+}
+
+// AllocHook can veto an allocation attempt before it reaches the buddy
+// allocator. A non-nil return fails the allocation with that error; the
+// attempt is still charged its search cost and counted as a failed alloc,
+// exactly like a genuine out-of-memory condition. Fault-injection
+// (internal/inject) installs hooks here; errors returned should wrap
+// ErrOutOfMemory so callers' degradation paths treat injected and genuine
+// failures identically.
+type AllocHook func(AllocRequest) error
+
 // Allocator couples a Memory with a CostModel and a fragmentation level,
 // providing the costed allocation interface the page tables use. The
 // fragmentation level used for costing is the ambient machine fragmentation
@@ -107,6 +128,12 @@ type Allocator struct {
 	Model CostModel
 	// AmbientFMFI is the fragmentation level used for pricing allocations.
 	AmbientFMFI float64
+	// Hook, if non-nil, is consulted before every Alloc attempt (but not
+	// AllocRollback: rollback re-acquisitions must always succeed so failed
+	// resizes can restore their old geometry).
+	Hook AllocHook
+
+	seq uint64 // allocation attempts issued, for AllocRequest.Seq
 }
 
 // NewAllocator returns a costed allocator over mem at the given ambient
@@ -119,6 +146,36 @@ func NewAllocator(mem *Memory, ambientFMFI float64) *Allocator {
 // first frame plus the cycle cost of the allocation. On failure the cost of
 // the failed attempt is still returned (the OS did the work of searching).
 func (a *Allocator) Alloc(size uint64) (addr.PPN, uint64, error) {
+	order := OrderFor(size)
+	cycles := a.Model.Cycles(BlockBytes(order), a.AmbientFMFI)
+	a.seq++
+	if a.Hook != nil {
+		if err := a.Hook(AllocRequest{
+			Size:       size,
+			Order:      order,
+			Seq:        a.seq,
+			FreeBytes:  a.Mem.FreeBytes(),
+			TotalBytes: a.Mem.TotalBytes(),
+		}); err != nil {
+			a.Mem.noteFailedAlloc()
+			return 0, cycles, err
+		}
+	}
+	ppn, err := a.Mem.AllocOrder(order)
+	if err != nil {
+		return 0, cycles, err
+	}
+	a.Mem.chargeAlloc(cycles)
+	return ppn, cycles, nil
+}
+
+// AllocRollback is Alloc for rollback paths: re-acquiring memory that a
+// failed resize or transition just released in order to restore the old
+// geometry. It bypasses the Hook — the memory was freed moments ago by the
+// caller, so the buddy allocator can always satisfy it, and fault injection
+// must not be able to strand a rollback halfway (a failed upsize must leave
+// the table valid at its old geometry, unconditionally).
+func (a *Allocator) AllocRollback(size uint64) (addr.PPN, uint64, error) {
 	order := OrderFor(size)
 	cycles := a.Model.Cycles(BlockBytes(order), a.AmbientFMFI)
 	ppn, err := a.Mem.AllocOrder(order)

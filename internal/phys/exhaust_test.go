@@ -1,0 +1,139 @@
+package phys
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// allocToExhaustion allocates blocks of the given sizes round-robin until
+// the allocator refuses everything, returning each grant as (ppn, size).
+func allocToExhaustion(t *testing.T, m *Memory, sizes []uint64) [](struct {
+	ppn  addr.PPN
+	size uint64
+}) {
+	t.Helper()
+	var got [](struct {
+		ppn  addr.PPN
+		size uint64
+	})
+	blocked := 0
+	for i := 0; blocked < len(sizes); i++ {
+		size := sizes[i%len(sizes)]
+		ppn, err := m.Alloc(size)
+		if err != nil {
+			if !errors.Is(err, ErrOutOfMemory) {
+				t.Fatalf("alloc %d bytes: untyped failure: %v", size, err)
+			}
+			blocked++
+			continue
+		}
+		blocked = 0
+		got = append(got, struct {
+			ppn  addr.PPN
+			size uint64
+		}{ppn, size})
+	}
+	return got
+}
+
+// TestExhaustionRecoveryCycle drives the buddy allocator to out-of-memory,
+// frees everything, and checks full recovery: free bytes, the per-order
+// free-block fingerprint, and FMFI at every order return exactly to the
+// fresh-allocator baseline — and a second identical cycle reproduces the
+// first grant-for-grant.
+func TestExhaustionRecoveryCycle(t *testing.T) {
+	const capacity = 8 * addr.MB
+	mixes := [][]uint64{
+		{4 * addr.KB},                        // uniform smallest
+		{4 * addr.KB, 64 * addr.KB, addr.MB}, // mixed orders
+		{addr.MB, 8 * addr.KB, 2 * addr.MB},  // large-first mix
+	}
+	for mi, sizes := range mixes {
+		m := NewMemory(capacity)
+		baselineFree := m.FreeBytes()
+		baselineBlocks := m.FreeBlockCounts()
+		var baselineFMFI []float64
+		for o := 0; o <= 11; o++ {
+			baselineFMFI = append(baselineFMFI, m.FMFI(o))
+		}
+
+		cycle := func() []addr.PPN {
+			grants := allocToExhaustion(t, m, sizes)
+			if len(grants) == 0 {
+				t.Fatalf("mix %d: nothing allocated before exhaustion", mi)
+			}
+			// Exhausted for the smallest size in the mix means that size has
+			// no free block left.
+			min := sizes[0]
+			for _, s := range sizes {
+				if s < min {
+					min = s
+				}
+			}
+			if m.CanAlloc(OrderFor(min)) {
+				t.Fatalf("mix %d: CanAlloc(order %d) true after refusing allocations",
+					mi, OrderFor(min))
+			}
+			ppns := make([]addr.PPN, len(grants))
+			for i, g := range grants {
+				ppns[i] = g.ppn
+			}
+			// Free in allocation order (not LIFO) to exercise coalescing
+			// across interleaved buddies.
+			for _, g := range grants {
+				m.Free(g.ppn, OrderFor(g.size))
+			}
+			return ppns
+		}
+
+		first := cycle()
+
+		if got := m.FreeBytes(); got != baselineFree {
+			t.Fatalf("mix %d: free bytes after recovery %d, want %d", mi, got, baselineFree)
+		}
+		if got := m.FreeBlockCounts(); !reflect.DeepEqual(got, baselineBlocks) {
+			t.Fatalf("mix %d: free-list fingerprint after recovery\n got %v\nwant %v",
+				mi, got, baselineBlocks)
+		}
+		for o := 0; o <= 11; o++ {
+			if got := m.FMFI(o); got != baselineFMFI[o] {
+				t.Fatalf("mix %d: FMFI(%d) = %g after recovery, want %g",
+					mi, o, got, baselineFMFI[o])
+			}
+		}
+
+		// The allocator recovered to an equivalent state: the second cycle
+		// must reproduce the first grant-for-grant.
+		second := cycle()
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("mix %d: second exhaustion cycle diverged (%d vs %d grants)",
+				mi, len(first), len(second))
+		}
+	}
+}
+
+// TestExhaustionStatsAccounting: failed allocations during exhaustion are
+// counted, and a full cycle's frees match its allocs.
+func TestExhaustionStatsAccounting(t *testing.T) {
+	m := NewMemory(1 * addr.MB)
+	grants := allocToExhaustion(t, m, []uint64{4 * addr.KB})
+	s := m.Stats()
+	if s.Allocs != uint64(len(grants)) {
+		t.Errorf("Allocs = %d, want %d", s.Allocs, len(grants))
+	}
+	if s.FailedAllocs == 0 {
+		t.Error("FailedAllocs = 0 after driving to exhaustion")
+	}
+	for _, g := range grants {
+		m.Free(g.ppn, 0)
+	}
+	if s := m.Stats(); s.Frees != uint64(len(grants)) {
+		t.Errorf("Frees = %d, want %d", s.Frees, len(grants))
+	}
+	if m.FreeBytes() != m.TotalBytes() {
+		t.Errorf("free %d != total %d after freeing every grant", m.FreeBytes(), m.TotalBytes())
+	}
+}

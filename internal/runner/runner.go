@@ -23,7 +23,9 @@
 package runner
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -75,6 +77,62 @@ func Map[J, R any](workers int, jobs []J, do func(i int, job J) R) []R {
 	}
 	wg.Wait()
 	return out
+}
+
+// Result is the per-job envelope MapSafe returns: the job's value when it
+// completed, its error when it returned one, and the recovered panic value
+// plus stack trace when it panicked. Exactly one of Err/Panic is set on
+// failure; both are nil/empty on success.
+type Result[R any] struct {
+	Value R
+	Err   error
+	// Panic is the recovered panic value (nil if the job did not panic) and
+	// Stack the goroutine stack captured at recovery time.
+	Panic interface{}
+	Stack string
+}
+
+// Failed reports whether the job errored or panicked.
+func (r Result[R]) Failed() bool { return r.Err != nil || r.Panic != nil }
+
+// FailureError returns the job's failure as an error: Err as-is, a panic
+// wrapped with its message, or nil for a successful job.
+func (r Result[R]) FailureError() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	if r.Panic != nil {
+		return fmt.Errorf("panic: %v", r.Panic)
+	}
+	return nil
+}
+
+// MapSafe is Map with per-job fault isolation: each do invocation runs
+// under a recover, so one panicking job cannot take down the whole matrix —
+// the remaining jobs complete and the caller gets partial results plus a
+// precise failure record (value, error, panic trace) per job.
+//
+// abort, if non-nil, is checked before claiming each job; once set, workers
+// stop claiming and the unclaimed jobs' envelopes report a canceled error.
+// Setting it from a failure callback implements fail-fast. Note that which
+// jobs were already in flight when abort flipped depends on scheduling, so
+// fail-fast runs are NOT bit-identical across worker counts — callers that
+// need the determinism contract leave abort nil (the default).
+func MapSafe[J, R any](workers int, jobs []J, abort *atomic.Bool, do func(i int, job J) (R, error)) []Result[R] {
+	return Map(workers, jobs, func(i int, job J) (res Result[R]) {
+		if abort != nil && abort.Load() {
+			res.Err = fmt.Errorf("runner: job %d canceled (fail-fast abort)", i)
+			return res
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				res.Panic = r
+				res.Stack = string(debug.Stack())
+			}
+		}()
+		res.Value, res.Err = do(i, job)
+		return res
+	})
 }
 
 // splitmix64 is the SplitMix64 finalizer: a bijective avalanche that turns

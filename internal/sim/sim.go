@@ -32,6 +32,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/cache"
 	"repro/internal/ecpt"
+	"repro/internal/inject"
 	"repro/internal/mehpt"
 	"repro/internal/mmu"
 	"repro/internal/osmodel"
@@ -96,6 +97,11 @@ type Config struct {
 	// MEHPTConfig optionally overrides the ME-HPT feature toggles
 	// (ablations). Nil means the full design.
 	MEHPTConfig *mehpt.Config
+	// Inject is a fault-injection policy spec (see inject.Parse: "nth=N",
+	// "rate=P", "pressure=F", "big=SIZE", joined by "+"). When non-empty,
+	// the machine's allocator fails attempts per the policy; stateful
+	// clauses are seeded from Seed so runs stay bit-identical per seed.
+	Inject string
 }
 
 // Result is everything the experiments need from one run.
@@ -114,6 +120,10 @@ type Result struct {
 
 	MMU mmu.Stats
 	OS  osmodel.Stats
+
+	// InjectedFaults counts allocation attempts failed by the Inject policy
+	// (zero when Inject is empty).
+	InjectedFaults uint64
 
 	// Page-table organization metrics.
 	PTPeakBytes   uint64 // peak page-table memory (Table I, Figure 10)
@@ -140,13 +150,14 @@ type pageTable interface {
 
 // Machine is one wired-up simulated system.
 type Machine struct {
-	cfg   Config
-	mem   *phys.Memory
-	alloc *phys.Allocator
-	os    *osmodel.OS
-	mmu   mmu.MMU
-	table pageTable
-	cache *cache.Hierarchy
+	cfg      Config
+	mem      *phys.Memory
+	alloc    *phys.Allocator
+	os       *osmodel.OS
+	mmu      mmu.MMU
+	table    pageTable
+	cache    *cache.Hierarchy
+	injector *inject.Injector // nil unless Config.Inject is set
 }
 
 // NewMachine builds the machine for cfg, pre-fragmenting memory.
@@ -170,6 +181,17 @@ func NewMachine(cfg Config) (*Machine, error) {
 	alloc := phys.NewAllocator(mem, cfg.FMFI)
 	m := &Machine{cfg: cfg, mem: mem, alloc: alloc,
 		cache: cache.NewHierarchy(cache.TableIII())}
+	if cfg.Inject != "" {
+		// The policy is attached after fragmentation, so the fragmenter's
+		// own blocker allocations are never injected; its seed is derived
+		// from the job seed (offset 3 — the fragmenter uses 1, the table
+		// RNG 2) so the failure stream is private to this machine.
+		policy, err := inject.Parse(cfg.Inject, cfg.Seed+3)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		m.injector = inject.Attach(alloc, policy)
+	}
 
 	seed := uint64(cfg.Seed)*2654435761 + 12345
 	switch cfg.Org {
@@ -285,6 +307,9 @@ func (m *Machine) Run() Result {
 
 func (m *Machine) finish(res *Result) {
 	res.Cycles = res.DataCycles + res.XlatCycles + res.OSCycles
+	if m.injector != nil {
+		res.InjectedFaults = m.injector.Stats().Injected
+	}
 	res.MMU = m.mmu.Stats()
 	res.OS = m.os.Stats()
 	res.PTPeakBytes = m.table.PeakFootprintBytes()
@@ -338,6 +363,14 @@ func (m *Machine) RunAddresses(gen func(emit func(va addr.VirtAddr))) Result {
 // Table returns the machine's page table (for experiment inspection before
 // running).
 func (m *Machine) Table() osmodel.PageTable { return m.table }
+
+// Mem returns the machine's physical memory, for frame-accounting checks
+// (the fault sweep compares free-list state against a baseline).
+func (m *Machine) Mem() *phys.Memory { return m.mem }
+
+// Injector returns the attached fault injector, or nil when Config.Inject
+// is unset.
+func (m *Machine) Injector() *inject.Injector { return m.injector }
 
 // SetAmbientFMFI overrides the fragmentation level used to *price*
 // allocations without physically shredding memory. Experiment drivers use

@@ -7,14 +7,18 @@
 package repro_test
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/addr"
+	"repro/internal/cache"
 	"repro/internal/experiments"
 	"repro/internal/levelhash"
 	"repro/internal/mehpt"
+	"repro/internal/phys"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/tlb"
 	"repro/internal/workload"
 )
 
@@ -298,5 +302,107 @@ func BenchmarkSectionIX(b *testing.B) {
 		st := r.MEHPT.Table(addr.Page4K).Stats()
 		b.ReportMetric(float64(st.UpsizeMoved)/float64(st.UpsizeMoved+st.UpsizeStayed),
 			"mehpt-movefrac/upsize")
+	}
+}
+
+// BenchmarkHotPath measures the allocation-free steady-state paths in
+// isolation: the TLB hit, the warm cache access, and the settled ME-HPT
+// lookup. Their 0 B/op / 0 allocs/op columns in BENCH_<n>.json are the
+// machine-independent regression gate for the hot pipeline (scripts/bench.sh
+// fails any reading that becomes nonzero); the AllocsPerRun tests in the
+// respective packages guard the same invariant in tier-1.
+func BenchmarkHotPath(b *testing.B) {
+	b.Run("TLBHit", func(b *testing.B) {
+		tb := tlb.New(tlb.Config{Entries: 64, Ways: 4, Latency: 2})
+		tb.Insert(42)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !tb.Lookup(42) {
+				b.Fatal("warm TLB lookup missed")
+			}
+		}
+	})
+	b.Run("CacheAccessHit", func(b *testing.B) {
+		h := cache.NewHierarchy(cache.TableIII())
+		pa := addr.PhysAddr(0x4000)
+		h.Access(pa)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if h.Access(pa) == 0 {
+				b.Fatal("zero latency")
+			}
+		}
+	})
+	b.Run("MEHPTLookup", func(b *testing.B) {
+		mem := phys.NewMemory(1 * addr.GB)
+		alloc := phys.NewAllocator(mem, 0)
+		cfg := mehpt.DefaultConfig(7)
+		cfg.Rand = rand.New(rand.NewSource(1))
+		p, err := mehpt.NewPageTable(alloc, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const pages = 512
+		for i := 0; i < pages; i++ {
+			if _, err := p.Map(addr.VPN(i), addr.Page4K, addr.PPN(1000+i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := p.Table(addr.Page4K).Settle(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := p.Translate(addr.VPN(i % pages).Addr(addr.Page4K)); !ok {
+				b.Fatal("settled translate missed")
+			}
+		}
+	})
+}
+
+// BenchmarkSteadyStateTranslate drives the full Translate → TLB → walk →
+// cache pipeline through sim.Machine.RunAddresses over a TLB-resident
+// working set, with the cold faults taken before the timer starts. Each op
+// is one batch of accesses, so the handful of per-call setup allocations in
+// RunAddresses amortize to a stable, machine-independent allocs/op that the
+// bench gate holds flat.
+func BenchmarkSteadyStateTranslate(b *testing.B) {
+	const batch = 8192
+	for _, org := range []sim.Org{sim.Radix, sim.ECPT, sim.MEHPT} {
+		org := org
+		b.Run(org.String(), func(b *testing.B) {
+			m, err := sim.NewMachine(sim.Config{
+				Org: org, Workload: workload.Spec{Name: "steady"},
+				Seed: 1, MemBytes: 4 * addr.GB,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			vas := make([]addr.VirtAddr, 32)
+			for i := range vas {
+				vas[i] = workload.BaseVA + addr.VirtAddr(i)*4*addr.KB
+			}
+			replay := func(n int) sim.Result {
+				return m.RunAddresses(func(emit func(addr.VirtAddr)) {
+					for j := 0; j < n; j++ {
+						emit(vas[j%len(vas)])
+					}
+				})
+			}
+			if r := replay(len(vas)); r.Failed { // fault the set in, untimed
+				b.Fatal(r.FailReason)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if r := replay(batch); r.Failed {
+					b.Fatal(r.FailReason)
+				}
+			}
+			b.ReportMetric(batch, "accesses/op")
+		})
 	}
 }

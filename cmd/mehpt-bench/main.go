@@ -1,0 +1,277 @@
+// Command mehpt-bench is the benchmark regression harness behind
+// scripts/bench.sh: it converts `go test -bench -benchmem` text output into
+// the committed BENCH_<n>.json format and compares two such files with a
+// tolerance gate.
+//
+// Usage:
+//
+//	mehpt-bench parse -in bench.txt -out BENCH_1.json
+//	mehpt-bench compare -baseline BENCH_0.json -new BENCH_1.json
+//
+// The compare gate distinguishes machine-dependent from machine-independent
+// metrics: ns/op drifts with the host (default tolerance 15%), while
+// allocs/op and B/op are properties of the code and get tight tolerances
+// (defaults 1% and 10%). A comparison fails — exit status 1 — only when a
+// benchmark present in both files regresses beyond its tolerance.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric values (e.g.
+	// "mehpt-speedup-geomean"), informational only — never gated.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_<n>.json document.
+type File struct {
+	GoOS       string      `json:"goos"`
+	GoArch     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		cmdParse(os.Args[2:])
+	case "compare":
+		cmdCompare(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  mehpt-bench parse   -in bench.txt -out BENCH_N.json
+  mehpt-bench compare -baseline BENCH_0.json -new BENCH_N.json [-tolerance 0.15] [-alloc-tolerance 0.01] [-byte-tolerance 0.10] [-skip-time]
+`)
+	os.Exit(2)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mehpt-bench: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func cmdParse(args []string) {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	in := fs.String("in", "-", "benchmark text output to parse ('-' = stdin)")
+	out := fs.String("out", "", "JSON file to write (default stdout)")
+	fs.Parse(args)
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	file, err := Parse(r)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(file.Benchmarks) == 0 {
+		fatalf("no benchmark lines found in %s", *in)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(file); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// Parse reads `go test -bench` text output. Benchmark lines look like
+//
+//	BenchmarkFigure9  3  8511125260 ns/op  1.230 metric-name  204695128 B/op  11091 allocs/op
+//
+// i.e. name, iteration count, then value/unit pairs. Header lines (goos,
+// goarch, pkg, cpu) fill the file metadata; everything else is ignored.
+func Parse(r io.Reader) (*File, error) {
+	file := &File{GoOS: runtime.GOOS, GoArch: runtime.GOARCH}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			file.GoOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			file.GoArch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			file.Package = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			file.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkX--- FAIL" noise
+		}
+		b := Benchmark{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: bad value %q", line, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			case "MB/s":
+				// throughput; informational
+				fallthrough
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		file.Benchmarks = append(file.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return file, nil
+}
+
+func readFile(path string) *File {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return &f
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("baseline", "BENCH_0.json", "committed baseline JSON")
+	newPath := fs.String("new", "", "freshly measured JSON")
+	timeTol := fs.Float64("tolerance", 0.15, "allowed ns/op regression (fraction; machine-dependent metric)")
+	allocTol := fs.Float64("alloc-tolerance", 0.01, "allowed allocs/op regression (fraction; machine-independent)")
+	byteTol := fs.Float64("byte-tolerance", 0.10, "allowed B/op regression (fraction)")
+	skipTime := fs.Bool("skip-time", false, "gate only allocs/op and B/op (for cross-machine comparisons)")
+	minTime := fs.Float64("min-time-ns", 100_000, "skip the ns/op gate when both sides run faster than this (sub-threshold timings at -benchtime 1x are timer noise)")
+	fs.Parse(args)
+	if *newPath == "" {
+		fatalf("compare: -new is required")
+	}
+
+	base, cur := readFile(*basePath), readFile(*newPath)
+	baseBy := map[string]Benchmark{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+
+	type check struct {
+		metric   string
+		old, new float64
+		tol      float64
+	}
+	regressions := 0
+	names := make([]string, 0, len(cur.Benchmarks))
+	curBy := map[string]Benchmark{}
+	for _, b := range cur.Benchmarks {
+		names = append(names, b.Name)
+		curBy[b.Name] = b
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		nb := curBy[name]
+		ob, ok := baseBy[name]
+		if !ok {
+			fmt.Printf("NEW       %-40s (no baseline entry)\n", name)
+			continue
+		}
+		checks := []check{
+			{"allocs/op", ob.AllocsPerOp, nb.AllocsPerOp, *allocTol},
+			{"B/op", ob.BytesPerOp, nb.BytesPerOp, *byteTol},
+		}
+		if !*skipTime && (ob.NsPerOp >= *minTime || nb.NsPerOp >= *minTime) {
+			checks = append(checks, check{"ns/op", ob.NsPerOp, nb.NsPerOp, *timeTol})
+		}
+		worst := ""
+		for _, c := range checks {
+			switch {
+			case c.old > 0 && c.new > c.old*(1+c.tol):
+				regressions++
+				worst = c.metric
+				fmt.Printf("REGRESSED %-40s %s %.4g -> %.4g (+%.1f%%, tolerance %.0f%%)\n",
+					name, c.metric, c.old, c.new, (c.new/c.old-1)*100, c.tol*100)
+			// A zero baseline that becomes nonzero is a regression for the
+			// machine-independent allocation metrics (the alloc-free paths).
+			case c.old == 0 && c.new > 0 && c.metric != "ns/op":
+				regressions++
+				worst = c.metric
+				fmt.Printf("REGRESSED %-40s %s 0 -> %.4g (was allocation-free)\n", name, c.metric, c.new)
+			}
+		}
+		if worst == "" {
+			delta := 0.0
+			if ob.NsPerOp > 0 {
+				delta = (nb.NsPerOp/ob.NsPerOp - 1) * 100
+			}
+			fmt.Printf("ok        %-40s ns/op %+.1f%%, allocs/op %.4g\n", name, delta, nb.AllocsPerOp)
+		}
+	}
+	for _, b := range base.Benchmarks {
+		if _, ok := curBy[b.Name]; !ok {
+			fmt.Printf("MISSING   %-40s (in baseline, not measured)\n", b.Name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d regression(s) beyond tolerance vs %s\n", regressions, *basePath)
+		os.Exit(1)
+	}
+	fmt.Printf("\nno regressions beyond tolerance vs %s\n", *basePath)
+}

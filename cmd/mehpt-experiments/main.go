@@ -25,8 +25,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/addr"
@@ -48,14 +51,65 @@ func main() {
 		jsonOut    = flag.String("json", "", "write machine-readable results (all experiment rows) to this file")
 		injectSpec = flag.String("inject", "", "fault-injection policy for every run's allocator, e.g. 'nth=50', 'rate=0.01+pressure=0.9' (see internal/inject)")
 		failFast   = flag.Bool("fail-fast", false, "abort each experiment's remaining jobs after the first failure (forfeits worker-count determinism)")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the suite run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof allocation profile (alloc_space) to this file at exit")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace of the suite run to this file")
 	)
 	flag.Parse()
+
+	// Profiling hooks. The deferred stops run through exitf below, so they
+	// fire on every exit path, including failure summaries.
+	var atExit []func()
+	exitf := func(code int) {
+		for i := len(atExit) - 1; i >= 0; i-- {
+			atExit[i]()
+		}
+		os.Exit(code)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mehpt-experiments: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mehpt-experiments: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		atExit = append(atExit, func() { pprof.StopCPUProfile(); f.Close() })
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mehpt-experiments: -trace: %v\n", err)
+			os.Exit(2)
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mehpt-experiments: -trace: %v\n", err)
+			os.Exit(2)
+		}
+		atExit = append(atExit, func() { trace.Stop(); f.Close() })
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		atExit = append(atExit, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mehpt-experiments: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "mehpt-experiments: -memprofile: %v\n", err)
+			}
+		})
+	}
 
 	if *injectSpec != "" {
 		// Validate the spec up front so a typo fails before minutes of runs.
 		if _, err := inject.Parse(*injectSpec, 0); err != nil {
 			fmt.Fprintf(os.Stderr, "mehpt-experiments: -inject: %v\n", err)
-			os.Exit(2)
+			exitf(2)
 		}
 	}
 
@@ -70,12 +124,21 @@ func main() {
 	o.Inject = *injectSpec
 	o.FailFast = *failFast
 	o.Failures = failures
+	var tally atomic.Uint64
+	o.AccessTally = &tally
+	meter := stats.NewAllocMeter()
+	suiteStart := time.Now()
 	if *progress {
 		// Called concurrently from the worker pool; a single Printf is
 		// atomic enough for line-oriented progress output.
-		o.Progress = func(done, total int, label string, elapsed time.Duration) {
-			fmt.Printf("  [%3d/%3d] %-32s %10s\n", done, total, label,
-				elapsed.Round(time.Millisecond))
+		o.Progress = func(done, total int, label string, elapsed time.Duration, accesses uint64) {
+			rate := ""
+			if accesses > 0 && elapsed > 0 {
+				rate = fmt.Sprintf("%8.2fM acc/s",
+					float64(accesses)/elapsed.Seconds()/1e6)
+			}
+			fmt.Printf("  [%3d/%3d] %-32s %10s %s\n", done, total, label,
+				elapsed.Round(time.Millisecond), rate)
 		}
 	}
 
@@ -197,18 +260,30 @@ func main() {
 		sort.Strings(unknown)
 		fmt.Fprintf(os.Stderr, "mehpt-experiments: unknown experiment(s): %s (see -exp in -help)\n",
 			strings.Join(unknown, ", "))
-		os.Exit(1)
+		exitf(1)
 	}
 
 	if failures.Len() > 0 {
 		rec.Record("job_failures", failures.Failures())
 	}
 
+	// Suite-level throughput and allocation meter. The alloc counter is
+	// process-wide (runtime/metrics), so it includes table construction and
+	// reporting — a coarse regression signal, with the per-path precision
+	// left to the AllocsPerRun test guards. Not recorded into -json: its
+	// values are machine-dependent and the JSON output is fingerprinted.
+	if total := tally.Load(); total > 0 {
+		elapsed := time.Since(suiteStart)
+		fmt.Printf("simulated %d accesses in %s (%.2fM acc/s, %.2f heap allocs/access)\n",
+			total, elapsed.Round(time.Millisecond),
+			float64(total)/elapsed.Seconds()/1e6, meter.PerAccess(total))
+	}
+
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mehpt-experiments: %v\n", err)
-			os.Exit(1)
+			exitf(1)
 		}
 		if err := rec.WriteJSON(f); err == nil {
 			err = f.Close()
@@ -218,7 +293,7 @@ func main() {
 		} else {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "mehpt-experiments: writing %s: %v\n", *jsonOut, err)
-			os.Exit(1)
+			exitf(1)
 		}
 	}
 
@@ -231,6 +306,7 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "  %s: %s%s: %s\n", jf.Experiment, jf.Job, kind, jf.Reason)
 		}
-		os.Exit(1)
+		exitf(1)
 	}
+	exitf(0)
 }

@@ -50,6 +50,10 @@ func main() {
 		spec.Name, stats.HumanBytes(spec.TouchedBytes), *thp)
 	for _, s := range addr.Sizes() {
 		t := pt.Table(s)
+		if t == nil { // size tables are created lazily on first mapping
+			fmt.Printf("[%v page table] never instantiated\n\n", s)
+			continue
+		}
 		st := t.Stats()
 		fmt.Printf("[%v page table]\n", s)
 		fmt.Printf("  clustered entries: %d\n", t.Len())

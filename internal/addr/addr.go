@@ -74,9 +74,12 @@ func (s PageSize) String() string {
 	return pageName[s]
 }
 
+// sizes backs Sizes so the per-translation size loops do not allocate.
+var sizes = [NumPageSizes]PageSize{Page4K, Page2M, Page1G}
+
 // Sizes returns the supported page sizes from smallest to largest.
 // The returned slice must not be modified.
-func Sizes() []PageSize { return []PageSize{Page4K, Page2M, Page1G} }
+func Sizes() []PageSize { return sizes[:] }
 
 // PageNumber returns the VPN of va at page size s.
 func (va VirtAddr) PageNumber(s PageSize) VPN {

@@ -22,11 +22,20 @@ type Stats struct {
 }
 
 // Cache is one set-associative LRU cache level.
+//
+// Tags live in a single flat set-major array (sets × ways), MRU first
+// within each set, 0 marking an empty slot (tags are stored as line+1).
+// Empty slots are always a suffix of their set — fills push at the front —
+// so probes stop at the first zero. The flat layout replaces the per-set
+// []uint64 slices whose append-growth was the second-largest allocation
+// source on the simulator's hot path.
 type Cache struct {
 	cfg      Config
 	sets     uint64
+	setMask  uint64 // sets-1 when sets is a power of two, else 0
 	lineBits uint
-	tags     [][]uint64 // per-set tag stacks, MRU first; tag 0 means empty
+	ways     int
+	tags     []uint64 // sets × ways, set-major; 0 = empty
 	stats    Stats
 }
 
@@ -39,26 +48,46 @@ func New(cfg Config) *Cache {
 	if sets == 0 {
 		sets = 1
 	}
-	c := &Cache{cfg: cfg, sets: sets}
+	c := &Cache{cfg: cfg, sets: sets, ways: cfg.Ways}
+	if sets&(sets-1) == 0 {
+		c.setMask = sets - 1
+	}
 	c.lineBits = 0
 	for l := cfg.LineBytes; l > 1; l >>= 1 {
 		c.lineBits++
 	}
-	c.tags = make([][]uint64, sets)
+	c.tags = make([]uint64, sets*uint64(cfg.Ways))
 	return c
 }
 
 // line returns the line number of pa.
 func (c *Cache) line(pa addr.PhysAddr) uint64 { return uint64(pa) >> c.lineBits }
 
+// set returns the tag slots of the set holding line ln. Table III's
+// geometries are all power-of-two set counts, so the modulo reduces to the
+// precomputed mask on the hot path.
+func (c *Cache) set(ln uint64) []uint64 {
+	var si uint64
+	if c.setMask != 0 || c.sets == 1 {
+		si = ln & c.setMask
+	} else {
+		si = ln % c.sets
+	}
+	base := si * uint64(c.ways)
+	return c.tags[base : base+uint64(c.ways)]
+}
+
 // Lookup probes the cache without filling, updating LRU on a hit.
 func (c *Cache) Lookup(pa addr.PhysAddr) bool {
-	ln := c.line(pa)
-	set := c.tags[ln%c.sets]
+	want := c.line(pa) + 1
+	set := c.set(want - 1)
 	for i, tag := range set {
-		if tag == ln+1 {
+		if tag == 0 {
+			break // empties are a suffix: the rest of the set is empty
+		}
+		if tag == want {
 			copy(set[1:i+1], set[:i])
-			set[0] = ln + 1
+			set[0] = want
 			c.stats.Hits++
 			return true
 		}
@@ -69,15 +98,20 @@ func (c *Cache) Lookup(pa addr.PhysAddr) bool {
 
 // Fill inserts pa's line, evicting the LRU victim if the set is full.
 func (c *Cache) Fill(pa addr.PhysAddr) {
-	ln := c.line(pa)
-	si := ln % c.sets
-	set := c.tags[si]
-	if len(set) < c.cfg.Ways {
-		set = append(set, 0)
+	want := c.line(pa) + 1
+	set := c.set(want - 1)
+	n := len(set)
+	for i, tag := range set {
+		if tag == 0 {
+			n = i
+			break
+		}
 	}
-	copy(set[1:], set)
-	set[0] = ln + 1
-	c.tags[si] = set
+	if n == len(set) {
+		n-- // set full: shifting right drops the LRU tail
+	}
+	copy(set[1:n+1], set[:n])
+	set[0] = want
 }
 
 // Latency returns the hit round-trip latency.
@@ -86,9 +120,11 @@ func (c *Cache) Latency() uint64 { return c.cfg.Latency }
 // Stats returns the hit/miss counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
-// Hierarchy is the full L1/L2/L3/DRAM stack.
+// Hierarchy is the full L1/L2/L3/DRAM stack. The three levels are stored
+// by value in one array so the per-access walk stays on one cache line of
+// metadata and never chases heap pointers.
 type Hierarchy struct {
-	levels      []*Cache
+	levels      [3]Cache
 	dramLatency uint64
 	dramHits    uint64
 }
@@ -114,7 +150,7 @@ func TableIII() HierarchyConfig {
 // NewHierarchy builds the stack.
 func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	return &Hierarchy{
-		levels:      []*Cache{New(cfg.L1), New(cfg.L2), New(cfg.L3)},
+		levels:      [3]Cache{*New(cfg.L1), *New(cfg.L2), *New(cfg.L3)},
 		dramLatency: cfg.DRAMLatency,
 	}
 }
@@ -122,16 +158,16 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 // Access performs one memory access and returns its round-trip latency. On
 // a miss the line is filled into every level (inclusive hierarchy).
 func (h *Hierarchy) Access(pa addr.PhysAddr) uint64 {
-	for i, c := range h.levels {
-		if c.Lookup(pa) {
+	for i := range h.levels {
+		if h.levels[i].Lookup(pa) {
 			for j := 0; j < i; j++ {
 				h.levels[j].Fill(pa)
 			}
-			return c.Latency()
+			return h.levels[i].Latency()
 		}
 	}
-	for _, c := range h.levels {
-		c.Fill(pa)
+	for i := range h.levels {
+		h.levels[i].Fill(pa)
 	}
 	h.dramHits++
 	return h.dramLatency
@@ -156,10 +192,14 @@ func (h *Hierarchy) AccessPT(pa addr.PhysAddr) uint64 {
 // used to price the parallel probes of a cuckoo walk, where only the
 // winning probe should update LRU state meaningfully.
 func (h *Hierarchy) Peek(pa addr.PhysAddr) uint64 {
-	for _, c := range h.levels {
-		ln := c.line(pa)
-		for _, tag := range c.tags[ln%c.sets] {
-			if tag == ln+1 {
+	for i := range h.levels {
+		c := &h.levels[i]
+		want := c.line(pa) + 1
+		for _, tag := range c.set(want - 1) {
+			if tag == 0 {
+				break
+			}
+			if tag == want {
 				return c.Latency()
 			}
 		}
@@ -171,4 +211,4 @@ func (h *Hierarchy) Peek(pa addr.PhysAddr) uint64 {
 func (h *Hierarchy) DRAMAccesses() uint64 { return h.dramHits }
 
 // Level returns cache level i (0 = L1), for stats inspection.
-func (h *Hierarchy) Level(i int) *Cache { return h.levels[i] }
+func (h *Hierarchy) Level(i int) *Cache { return &h.levels[i] }

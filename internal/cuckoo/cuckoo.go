@@ -114,15 +114,20 @@ func (w *way) size() uint64 { return uint64(len(w.slots)) }
 
 // Table is the elastic cuckoo hash table. It is not safe for concurrent use.
 type Table struct {
-	cfg  Config
-	fns  []hashfn.Func
-	cur  []*way // current table, one per way
-	next []*way // resize target, nil when not resizing
+	cfg   Config
+	fns   []hashfn.Func
+	mixer *hashfn.Mixer // family-wide single-CRC hashing (read-only)
+	cur   []*way        // current table, one per way
+	next  []*way        // resize target, nil when not resizing
 	// rehashPtr[i] splits cur[i] into migrated [0,p) and live [p,size).
 	rehashPtr []uint64
 	occupied  uint64
 	stats     Stats
 	rng       *rand.Rand
+	// journal is tryPlace's displacement log, reused across insertions so
+	// the write path does not allocate in steady state. Chains are bounded
+	// by MaxKicks, and tryPlace is never re-entered while a chain is live.
+	journal []undo
 }
 
 // New creates an empty table, panicking if the initial ways cannot be
@@ -171,6 +176,7 @@ func Build(cfg Config) (*Table, error) {
 		rehashPtr: make([]uint64, cfg.Ways),
 		rng:       rng,
 	}
+	t.mixer = hashfn.NewMixer(t.fns)
 	for i := range t.cur {
 		t.cur[i] = newWay(cfg.InitialEntries, t.fns[i])
 	}
@@ -216,19 +222,26 @@ func (t *Table) occupancy() float64 {
 	return float64(t.occupied) / float64(t.Capacity())
 }
 
-// locate returns the way array and index at which key would live in way i,
-// honouring the rehash pointer during resizes: hash keys below the pointer
-// have been migrated, so the new table is authoritative for them.
-func (t *Table) locate(i int, key uint64) (*way, uint64) {
+// locateHash returns the way array and index at which a key hashing to h in
+// way i would live, honouring the rehash pointer during resizes: hash keys
+// below the pointer have been migrated, so the new table is authoritative
+// for them. Both tables of way i use the same hash function and power-of-two
+// sizes, so one hash value serves both — only the mask differs (the paper's
+// upsize-bit property).
+func (t *Table) locateHash(i int, h uint64) (*way, uint64) {
 	w := t.cur[i]
-	idx := w.fn.Index(key, w.size())
-	if t.next != nil {
-		if idx < t.rehashPtr[i] {
-			nw := t.next[i]
-			return nw, nw.fn.Index(key, nw.size())
-		}
+	idx := h & (w.size() - 1)
+	if t.next != nil && idx < t.rehashPtr[i] {
+		nw := t.next[i]
+		return nw, h & (nw.size() - 1)
 	}
 	return w, idx
+}
+
+// locate is locateHash with the hash computed here. Multi-way loops hoist
+// the shared CRC through t.mixer instead of calling this per way.
+func (t *Table) locate(i int, key uint64) (*way, uint64) {
+	return t.locateHash(i, t.fns[i].Hash(key))
 }
 
 // Probe returns, for way i, whether a lookup of key would probe the
@@ -236,19 +249,21 @@ func (t *Table) locate(i int, key uint64) (*way, uint64) {
 // hardware walker derives from the rehash pointers, which the embedding
 // page table needs to compute probe addresses.
 func (t *Table) Probe(i int, key uint64) (inNext bool, idx uint64) {
+	h := t.fns[i].Hash(key)
 	w := t.cur[i]
-	oldIdx := w.fn.Index(key, w.size())
+	oldIdx := h & (w.size() - 1)
 	if t.next != nil && oldIdx < t.rehashPtr[i] {
 		nw := t.next[i]
-		return true, nw.fn.Index(key, nw.size())
+		return true, h & (nw.size() - 1)
 	}
 	return false, oldIdx
 }
 
 // WayOf returns the way index currently holding key.
 func (t *Table) WayOf(key uint64) (int, bool) {
+	crc := t.mixer.CRC(key)
 	for i := 0; i < t.cfg.Ways; i++ {
-		w, idx := t.locate(i, key)
+		w, idx := t.locateHash(i, t.mixer.HashAt(i, crc))
 		if w.slots[idx].Key == key {
 			return i, true
 		}
@@ -258,23 +273,33 @@ func (t *Table) WayOf(key uint64) (int, bool) {
 
 // Lookup returns the value stored for key.
 func (t *Table) Lookup(key uint64) (uint64, bool) {
+	v, _, ok := t.LookupWay(key)
+	return v, ok
+}
+
+// LookupWay is Lookup additionally reporting the way that hit — the fused
+// walk uses it to avoid a second full probe sweep (WayOf) per translation.
+// Its statistics footprint is identical to Lookup's.
+func (t *Table) LookupWay(key uint64) (uint64, int, bool) {
 	t.stats.Lookups++
+	crc := t.mixer.CRC(key)
 	for i := 0; i < t.cfg.Ways; i++ {
-		w, idx := t.locate(i, key)
+		w, idx := t.locateHash(i, t.mixer.HashAt(i, crc))
 		t.stats.ProbeSlots++
 		if w.slots[idx].Key == key {
-			return w.slots[idx].Val, true
+			return w.slots[idx].Val, i, true
 		}
 	}
-	return 0, false
+	return 0, 0, false
 }
 
 // Insert adds key with value val. If key is already present its value is
 // replaced. It returns the number of cuckoo re-insertions performed.
 func (t *Table) Insert(key, val uint64) (int, error) {
 	// Reuse the slot if the key is already present (remap).
+	crc := t.mixer.CRC(key)
 	for i := 0; i < t.cfg.Ways; i++ {
-		w, idx := t.locate(i, key)
+		w, idx := t.locateHash(i, t.mixer.HashAt(i, crc))
 		if w.slots[idx].Key == key {
 			w.slots[idx].Val = val
 			return 0, nil
@@ -317,8 +342,9 @@ type undo struct {
 // Kick statistics and hooks still record the attempted displacements (the
 // hardware/OS did that work even when the chain was abandoned).
 func (t *Table) tryPlace(e Entry, exclude int) (int, bool) {
-	var journal []undo
+	journal := t.journal[:0]
 	kicks := 0
+	placed := false
 	for {
 		i := t.pickWay(exclude)
 		w, idx := t.locate(i, e.Key)
@@ -326,7 +352,8 @@ func (t *Table) tryPlace(e Entry, exclude int) (int, bool) {
 		journal = append(journal, undo{w, idx, prev})
 		w.slots[idx] = e
 		if prev.Key == EmptyKey {
-			return kicks, true
+			placed = true
+			break
 		}
 		t.stats.Kicks++
 		if t.cfg.Hooks.OnKick != nil {
@@ -337,10 +364,15 @@ func (t *Table) tryPlace(e Entry, exclude int) (int, bool) {
 			for j := len(journal) - 1; j >= 0; j-- {
 				journal[j].w.slots[journal[j].idx] = journal[j].prev
 			}
-			return kicks, false
+			break
 		}
 		e, exclude = prev, i
 	}
+	// Keep the grown backing array but drop the *way references so the
+	// scratch buffer never pins a retired table in memory.
+	clear(journal)
+	t.journal = journal[:0]
+	return kicks, placed
 }
 
 // place inserts e, forcing progress between bounded placement attempts:

@@ -192,6 +192,10 @@ func (t *Table) Insert(key, val uint64) (int, error) { return t.tb.Insert(key, v
 // Lookup returns the value for key.
 func (t *Table) Lookup(key uint64) (uint64, bool) { return t.tb.Lookup(key) }
 
+// LookupWay is Lookup additionally reporting the way that hit, with the
+// same statistics footprint.
+func (t *Table) LookupWay(key uint64) (uint64, int, bool) { return t.tb.LookupWay(key) }
+
 // Delete removes key.
 func (t *Table) Delete(key uint64) bool { return t.tb.Delete(key) }
 

@@ -133,6 +133,32 @@ func (p *PageTable) WayProbeAddr(va addr.VirtAddr, s addr.PageSize, wayIdx int) 
 	return p.tables[s].ProbeAddr(wayIdx, pt.ClusterKey(va.PageNumber(s)))
 }
 
+// Walk resolves va and returns the physical address of the winning way's
+// probe slot — the fused equivalent of Translate + WayOf + WayProbeAddr the
+// MMU's miss path uses, with the identical per-table statistics footprint
+// (one Lookup per instantiated size table until the hit).
+func (p *PageTable) Walk(va addr.VirtAddr) (pt.Translation, addr.PhysAddr, bool) {
+	for i := int(addr.NumPageSizes) - 1; i >= 0; i-- {
+		s := addr.PageSize(i)
+		t := p.tables[s]
+		if t == nil {
+			continue
+		}
+		vpn := va.PageNumber(s)
+		key := pt.ClusterKey(vpn)
+		id, way, ok := t.LookupWay(key)
+		if !ok {
+			continue
+		}
+		ppn, valid := p.slab.At(id).Get(pt.SubIndex(vpn))
+		if !valid {
+			continue
+		}
+		return pt.Translation{PPN: ppn, Size: s}, t.ProbeAddr(way, key), true
+	}
+	return pt.Translation{}, 0, false
+}
+
 // WayOf returns the way index holding va's cluster at page size s.
 func (p *PageTable) WayOf(va addr.VirtAddr, s addr.PageSize) (int, bool) {
 	if p.tables[s] == nil {

@@ -58,11 +58,16 @@ type Options struct {
 	// private sim.Machine, and is collected in submission order.
 	Parallel int
 	// Progress, if non-nil, is called after every completed run with the
-	// completion count, the matrix size, the run's label, and its
-	// wall-clock duration. It may be called from multiple goroutines
-	// concurrently (the callback must be safe for that, e.g. a single
-	// fmt.Printf).
-	Progress func(done, total int, label string, elapsed time.Duration)
+	// completion count, the matrix size, the run's label, its wall-clock
+	// duration, and the number of simulated accesses it replayed (zero for
+	// population-only jobs) — enough for the caller to derive simulated
+	// accesses/sec. It may be called from multiple goroutines concurrently
+	// (the callback must be safe for that, e.g. a single fmt.Printf).
+	Progress func(done, total int, label string, elapsed time.Duration, accesses uint64)
+	// AccessTally, if non-nil, accumulates every job's simulated access
+	// count across all drivers run with these Options — the denominator for
+	// the CLI's allocs-per-access meter.
+	AccessTally *atomic.Uint64
 	// Inject is a fault-injection policy spec (see inject.Parse) applied to
 	// every job's physical allocator; empty disables injection. Each job
 	// derives its injection seed from its own identity seed, so injected
@@ -215,8 +220,11 @@ func (o Options) run(jobs []runJob) []sim.Result {
 		}
 		start := time.Now() //mehpt:allow detrand -- -progress wall-clock feedback for humans; never reaches a result
 		r := o.exec(j)
+		if o.AccessTally != nil {
+			o.AccessTally.Add(r.Accesses)
+		}
 		if o.Progress != nil {
-			o.Progress(int(done.Add(1)), len(jobs), j.label(), time.Since(start)) //mehpt:allow detrand -- elapsed time is display-only progress output
+			o.Progress(int(done.Add(1)), len(jobs), j.label(), time.Since(start), r.Accesses) //mehpt:allow detrand -- elapsed time is display-only progress output
 		}
 		if r.Failed && abort != nil {
 			abort.Store(true)

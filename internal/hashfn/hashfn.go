@@ -3,6 +3,22 @@
 // we use a CRC-64 over the virtual page number mixed with a per-way seed,
 // which gives the same uniform-distribution properties the cuckoo analysis
 // relies on.
+//
+// # Hot-path layout
+//
+// Hash is the single most expensive operation on the simulator's
+// translation path: every table probe hashes the key once per way, and the
+// CRC dominates. Two structural properties keep that cost down without
+// changing a single hash value (the determinism contract pins them):
+//
+//   - The CRC runs inline over the two 64-bit words, with no byte-buffer
+//     materialization and no call into hash/crc64's table dispatch.
+//   - CRC-64 over a fixed-length message is an affine map over GF(2):
+//     crc(a ⊕ b) = crc(a) ⊕ crc(b) ⊕ crc(0). For two functions of a family,
+//     the 16-byte CRC inputs for the same key differ by a key-independent
+//     constant, so their raw CRCs differ by a precomputable constant too.
+//     A Mixer exploits this: one CRC pass per key, plus one XOR and one
+//     finalizer per additional way (see NewMixer).
 package hashfn
 
 import "hash/crc64"
@@ -12,6 +28,10 @@ import "hash/crc64"
 const Latency = 2
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// seedMul is the multiplier folding the seed into the key word (golden
+// ratio, as in splitmix64 seeding).
+const seedMul = 0x9E3779B97F4A7C15
 
 // Func is a seeded hash function over 64-bit keys (virtual page numbers).
 // Two Funcs with different seeds behave as independent hash functions, which
@@ -27,23 +47,43 @@ func New(seed uint64) Func { return Func{seed: seed} }
 // Seed returns the seed this function was created with.
 func (f Func) Seed() uint64 { return f.seed }
 
-// Hash returns the 64-bit hash of key.
-func (f Func) Hash(key uint64) uint64 {
-	var buf [16]byte
-	x := key ^ (f.seed * 0x9E3779B97F4A7C15)
+// crcWords computes crc64.Checksum(le64(a) || le64(b), ECMA) without
+// materializing the byte buffer. TestCRCWordsMatchesChecksum pins the
+// equivalence.
+func crcWords(a, b uint64) uint64 {
+	crc := ^uint64(0)
 	for i := 0; i < 8; i++ {
-		buf[i] = byte(x >> (8 * i))
-		buf[i+8] = byte(f.seed >> (8 * i))
+		crc = crcTable[byte(crc)^byte(a)] ^ (crc >> 8)
+		a >>= 8
 	}
-	h := crc64.Checksum(buf[:], crcTable)
-	// Final avalanche (splitmix64 finalizer) so low bits are well mixed even
-	// for sequential keys; cuckoo tables index with the low bits of the key.
+	for i := 0; i < 8; i++ {
+		crc = crcTable[byte(crc)^byte(b)] ^ (crc >> 8)
+		b >>= 8
+	}
+	return ^crc
+}
+
+// finalize is the splitmix64 avalanche applied to the raw CRC so low bits
+// are well mixed even for sequential keys; cuckoo tables index with the low
+// bits of the hash.
+func finalize(h uint64) uint64 {
 	h ^= h >> 30
 	h *= 0xBF58476D1CE4E5B9
 	h ^= h >> 27
 	h *= 0x94D049BB133111EB
 	h ^= h >> 31
 	return h
+}
+
+// rawCRC returns the CRC stage of Hash: the checksum over the seed-mixed
+// key word followed by the seed word.
+func (f Func) rawCRC(key uint64) uint64 {
+	return crcWords(key^(f.seed*seedMul), f.seed)
+}
+
+// Hash returns the 64-bit hash of key.
+func (f Func) Hash(key uint64) uint64 {
+	return finalize(f.rawCRC(key))
 }
 
 // Index returns the hash of key reduced modulo size. Size must be a power of
@@ -61,4 +101,65 @@ func Family(base uint64, n int) []Func {
 		fs[i] = New(base + uint64(i)*0x6A09E667F3BCC909 + 1)
 	}
 	return fs
+}
+
+// Mixer computes the hashes of one key under every function of a family
+// with a single CRC pass.
+//
+// For way i, the 16-byte CRC input is le64(key ⊕ sᵢ·M) || le64(sᵢ). Against
+// way 0 it differs by the key-independent word pair
+// (s₀·M ⊕ sᵢ·M, s₀ ⊕ sᵢ), so by CRC affinity the raw CRCs satisfy
+//
+//	crcᵢ(key) = crc₀(key) ⊕ Δᵢ,  Δᵢ = crc(dᵢ) ⊕ crc(0)
+//
+// for a per-way constant Δᵢ computed once at construction. HashAt therefore
+// reproduces Func.Hash bit-for-bit (property-tested) at the cost of one XOR
+// and one finalizer instead of a full CRC per extra way. A Mixer is
+// read-only after construction and safe for concurrent use.
+type Mixer struct {
+	base   Func
+	deltas []uint64 // deltas[0] == 0
+}
+
+// NewMixer builds a Mixer over the family fns (as returned by Family; any
+// set of Funcs works). fns must be non-empty.
+func NewMixer(fns []Func) *Mixer {
+	if len(fns) == 0 {
+		panic("hashfn: NewMixer with empty family")
+	}
+	m := &Mixer{base: fns[0], deltas: make([]uint64, len(fns))}
+	s0 := fns[0].seed
+	zero := crcWords(0, 0)
+	for i, f := range fns[1:] {
+		d1 := (s0 * seedMul) ^ (f.seed * seedMul)
+		d2 := s0 ^ f.seed
+		m.deltas[i+1] = crcWords(d1, d2) ^ zero
+	}
+	return m
+}
+
+// Ways returns the family size.
+func (m *Mixer) Ways() int { return len(m.deltas) }
+
+// CRC returns the raw (pre-finalizer) CRC of key under way 0, the shared
+// intermediate every HashAt call reuses.
+func (m *Mixer) CRC(key uint64) uint64 { return m.base.rawCRC(key) }
+
+// HashAt returns way i's hash of the key whose way-0 raw CRC is crc0. It
+// equals fns[i].Hash(key) exactly.
+func (m *Mixer) HashAt(i int, crc0 uint64) uint64 {
+	return finalize(crc0 ^ m.deltas[i])
+}
+
+// Hash returns way i's hash of key, running the shared CRC itself. Callers
+// probing several ways should hoist CRC and use HashAt.
+func (m *Mixer) Hash(i int, key uint64) uint64 {
+	return m.HashAt(i, m.CRC(key))
+}
+
+// HashPair returns the hashes of key under ways i and j with one CRC pass —
+// the two-way convenience over CRC/HashAt.
+func (m *Mixer) HashPair(i, j int, key uint64) (uint64, uint64) {
+	crc := m.CRC(key)
+	return m.HashAt(i, crc), m.HashAt(j, crc)
 }

@@ -1,6 +1,7 @@
 package hashfn
 
 import (
+	"hash/crc64"
 	"testing"
 	"testing/quick"
 )
@@ -93,6 +94,118 @@ func BenchmarkHash(b *testing.B) {
 	var sink uint64
 	for i := 0; i < b.N; i++ {
 		sink ^= f.Hash(uint64(i))
+	}
+	_ = sink
+}
+
+// TestCRCWordsMatchesChecksum pins the inline two-word CRC against the
+// hash/crc64 reference it replaced: the hot path must produce the exact
+// checksum the original byte-buffer formulation produced.
+func TestCRCWordsMatchesChecksum(t *testing.T) {
+	ref := func(a, b uint64) uint64 {
+		var buf [16]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(a >> (8 * i))
+			buf[i+8] = byte(b >> (8 * i))
+		}
+		return crc64.Checksum(buf[:], crcTable)
+	}
+	check := func(a, b uint64) bool { return crcWords(a, b) == ref(a, b) }
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+	for _, v := range [][2]uint64{{0, 0}, {^uint64(0), ^uint64(0)}, {1, 0}, {0, 1}} {
+		if crcWords(v[0], v[1]) != ref(v[0], v[1]) {
+			t.Errorf("crcWords(%#x, %#x) diverges from crc64.Checksum", v[0], v[1])
+		}
+	}
+}
+
+// TestMixerMatchesHash is the equality property the determinism contract
+// requires: for any family and any key, Mixer.HashAt must reproduce
+// Func.Hash bit-for-bit — the CRC-affinity shortcut must be invisible.
+func TestMixerMatchesHash(t *testing.T) {
+	for _, ways := range []int{2, 3, 4, 8} {
+		for _, base := range []uint64{0, 1, 42, 0xDEADBEEF, ^uint64(0) / 3} {
+			fns := Family(base, ways)
+			m := NewMixer(fns)
+			check := func(key uint64) bool {
+				crc := m.CRC(key)
+				for i, f := range fns {
+					if m.HashAt(i, crc) != f.Hash(key) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(check, nil); err != nil {
+				t.Errorf("ways=%d base=%d: %v", ways, base, err)
+			}
+		}
+	}
+}
+
+// TestMixerArbitraryFuncs checks the affinity identity for Funcs that are
+// not a Family (arbitrary seeds), which the Mixer must also support.
+func TestMixerArbitraryFuncs(t *testing.T) {
+	fns := []Func{New(7), New(^uint64(0)), New(12345678901234567)}
+	m := NewMixer(fns)
+	for key := uint64(0); key < 4096; key++ {
+		crc := m.CRC(key)
+		for i, f := range fns {
+			if got, want := m.HashAt(i, crc), f.Hash(key); got != want {
+				t.Fatalf("way %d key %d: mixer %#x != hash %#x", i, key, got, want)
+			}
+		}
+	}
+}
+
+// TestHashPair property-tests the two-way convenience against Hash.
+func TestHashPair(t *testing.T) {
+	fns := Family(99, 3)
+	m := NewMixer(fns)
+	check := func(key uint64) bool {
+		h1, h2 := m.HashPair(1, 2, key)
+		return h1 == fns[1].Hash(key) && h2 == fns[2].Hash(key)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashAllocFree guards the hot path: hashing must never allocate.
+func TestHashAllocFree(t *testing.T) {
+	f := New(3)
+	m := NewMixer(Family(3, 3))
+	var sink uint64
+	if n := testing.AllocsPerRun(1000, func() {
+		sink ^= f.Hash(sink)
+	}); n != 0 {
+		t.Errorf("Func.Hash allocates %v objects per call", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		crc := m.CRC(sink)
+		sink ^= m.HashAt(0, crc) ^ m.HashAt(1, crc) ^ m.HashAt(2, crc)
+	}); n != 0 {
+		t.Errorf("Mixer probe allocates %v objects per call", n)
+	}
+}
+
+func BenchmarkMixer3Ways(b *testing.B) {
+	m := NewMixer(Family(3, 3))
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		crc := m.CRC(uint64(i))
+		sink ^= m.HashAt(0, crc) ^ m.HashAt(1, crc) ^ m.HashAt(2, crc)
+	}
+	_ = sink
+}
+
+func BenchmarkHash3Ways(b *testing.B) {
+	fns := Family(3, 3)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= fns[0].Hash(uint64(i)) ^ fns[1].Hash(uint64(i)) ^ fns[2].Hash(uint64(i))
 	}
 	_ = sink
 }

@@ -131,6 +131,48 @@ func (p *PageTable) TranslateSize(vpn addr.VPN, s addr.PageSize) (addr.PPN, bool
 	return p.slab.At(id).Get(pt.SubIndex(vpn))
 }
 
+// Walk resolves va and returns the physical address of the winning way's
+// probe slot — the fused equivalent of Translate + WayOf + WayProbeAddr the
+// MMU's miss path uses. Its statistics footprint is identical: one Lookup
+// counted per instantiated size table until the hit, and a stash-resident
+// entry reports way 0's probe address (WayOf does not see the stash).
+func (p *PageTable) Walk(va addr.VirtAddr) (pt.Translation, addr.PhysAddr, bool) {
+	for i := int(addr.NumPageSizes) - 1; i >= 0; i-- {
+		s := addr.PageSize(i)
+		t := p.tables[s]
+		if t == nil {
+			continue
+		}
+		vpn := va.PageNumber(s)
+		key := pt.ClusterKey(vpn)
+		t.stats.Lookups++ // mirrors Table.Lookup
+		wi, idx, inWay := t.lookupSlot(key)
+		var id uint64
+		if inWay {
+			id = t.ways[wi].slots[idx].Val
+		} else {
+			si := t.stashIndex(key)
+			if si < 0 {
+				continue
+			}
+			id = t.stash[si].Val
+		}
+		ppn, valid := p.slab.At(id).Get(pt.SubIndex(vpn))
+		if !valid {
+			continue
+		}
+		var pa addr.PhysAddr
+		if inWay {
+			pa = t.ways[wi].slotPA(idx)
+		} else {
+			w := t.ways[0]
+			pa = w.slotPA(w.locate(key))
+		}
+		return pt.Translation{PPN: ppn, Size: s}, pa, true
+	}
+	return pt.Translation{}, 0, false
+}
+
 // ProbeAddrs returns the physical addresses of the W slots a hardware walk
 // probes (in parallel) for va at page size s — the addresses the MMU prices
 // against the cache hierarchy.

@@ -107,9 +107,14 @@ type Table struct {
 	alloc *phys.Allocator
 	l2p   *l2p.Table
 	ways  []*way
+	mixer *hashfn.Mixer // family-wide single-CRC hashing (read-only)
 	slab  *pt.Slab
 	rng   *rand.Rand
 	stats Stats
+	// journal is tryPlace's displacement log, reused across insertions so
+	// the write path does not allocate in steady state. Chains are bounded
+	// by MaxKicks, and tryPlace is never re-entered while a chain is live.
+	journal []undo
 	// stash is the software overflow list: entries the table accepted but
 	// could not re-place during a degraded resize (e.g. a transition
 	// reinsert under memory pressure). The OS keeps such entries in a
@@ -145,6 +150,7 @@ func NewTable(size addr.PageSize, alloc *phys.Allocator, tbl *l2p.Table, slab *p
 	}
 	t.stats.UpsizesPerWay = make([]uint64, cfg.Ways)
 	fns := hashfn.Family(cfg.HashSeed+uint64(size)*0x1000, cfg.Ways)
+	t.mixer = hashfn.NewMixer(fns)
 	for i := 0; i < cfg.Ways; i++ {
 		st, cycles, err := chunk.NewStoreLadder(alloc, tbl, i, size,
 			cfg.InitialEntries*pt.EntryBytes, t.ladder())
@@ -247,10 +253,13 @@ func (t *Table) Resizing() bool {
 	return false
 }
 
-// lookupSlot finds the way index and slot index holding key.
+// lookupSlot finds the way index and slot index holding key. One CRC pass
+// serves all W probes (hashfn.Mixer); each way reuses its hash across the
+// old and new index masks during resizes.
 func (t *Table) lookupSlot(key uint64) (int, uint64, bool) {
+	crc := t.mixer.CRC(key)
 	for i, w := range t.ways {
-		idx := w.locate(key)
+		idx := w.locateHash(t.mixer.HashAt(i, crc))
 		if w.slots[idx].Key == key {
 			return i, idx, true
 		}
@@ -411,8 +420,9 @@ type undo struct {
 // is left exactly as it was: a failed placement never evicts a previously
 // accepted entry.
 func (t *Table) tryPlace(e cuckoo.Entry, exclude int, weighted bool) (int, bool) {
-	var journal []undo
+	journal := t.journal[:0]
 	kicks := 0
+	placed := false
 	for {
 		var i int
 		if weighted && kicks == 0 {
@@ -430,7 +440,8 @@ func (t *Table) tryPlace(e cuckoo.Entry, exclude int, weighted bool) (int, bool)
 			// Only the chain's final empty-slot placement increments a way:
 			// every intermediate way lost its victim but gained the incomer.
 			w.occ++
-			return kicks, true
+			placed = true
+			break
 		}
 		t.stats.Kicks++
 		kicks++
@@ -442,10 +453,15 @@ func (t *Table) tryPlace(e cuckoo.Entry, exclude int, weighted bool) (int, bool)
 					t.noteWay(u.prev.Key, u.w.idx)
 				}
 			}
-			return kicks, false
+			break
 		}
 		e, exclude = prev, i
 	}
+	// Keep the grown backing array but drop its references; the scratch is
+	// reused by the next insertion.
+	clear(journal)
+	t.journal = journal[:0]
+	return kicks, placed
 }
 
 // place inserts e, forcing progress between bounded placement attempts

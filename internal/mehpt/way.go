@@ -70,7 +70,13 @@ func (w *way) free() uint64 { return w.capacity() - w.occ }
 // to the new table, indexed with one more (upsize) or one fewer (downsize)
 // bit of the same hash (Section IV-C).
 func (w *way) locate(key uint64) uint64 {
-	h := w.fn.Hash(key)
+	return w.locateHash(w.fn.Hash(key))
+}
+
+// locateHash is locate for a precomputed hash value — the multi-way probe
+// loops compute one CRC per key through the table's Mixer and index every
+// way (and both resize sizes) from it.
+func (w *way) locateHash(h uint64) uint64 {
 	oldIdx := h & (w.size - 1)
 	if !w.resizing || oldIdx >= w.ptr {
 		return oldIdx

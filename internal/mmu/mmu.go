@@ -45,6 +45,11 @@ type HPTPageTable interface {
 	Translate(va addr.VirtAddr) (pt.Translation, bool)
 	WayOf(va addr.VirtAddr, s addr.PageSize) (int, bool)
 	WayProbeAddr(va addr.VirtAddr, s addr.PageSize, way int) addr.PhysAddr
+	// Walk fuses Translate + WayOf + WayProbeAddr for the TLB-miss path:
+	// one probe sweep resolves the translation and the winning way's probe
+	// address, with the same statistics footprint as the three separate
+	// calls.
+	Walk(va addr.VirtAddr) (pt.Translation, addr.PhysAddr, bool)
 }
 
 // HPT is the MMU for hashed page tables.
@@ -111,7 +116,7 @@ func (m *HPT) Translate(va addr.VirtAddr) Result {
 		// regular cache hierarchy and caches well, unlike page-table lines.
 		walk += m.Mem.Access(cwtPA)
 	}
-	tr, ok := m.Table.Translate(va)
+	tr, probePA, ok := m.Table.Walk(va)
 	if !ok {
 		// The CWT indicates no translation at any size: fault without
 		// probing the HPTs.
@@ -119,8 +124,7 @@ func (m *HPT) Translate(va addr.VirtAddr) Result {
 		m.stats.WalkCycles += walk
 		return Result{Cycles: cycles + walk, Fault: true}
 	}
-	way, _ := m.Table.WayOf(va, tr.Size)
-	walk += m.Mem.AccessPT(m.Table.WayProbeAddr(va, tr.Size, way))
+	walk += m.Mem.AccessPT(probePA)
 	m.stats.WalkCycles += walk
 	m.TLB.Insert(va, tr.Size)
 	return Result{
@@ -178,6 +182,10 @@ type Radix struct {
 	// PMD), [2] PGD entries (skip to PUD).
 	pwcs  [3]pwc
 	stats Stats
+	// walkBuf is the scratch buffer AppendWalkAddrs fills on every TLB
+	// miss; a walk touches at most MaxLevels entries, so the steady-state
+	// walk path never allocates.
+	walkBuf [radix.MaxLevels]addr.PhysAddr
 }
 
 // NewRadix wires a radix MMU with Table III structures: 3 PWC levels of 32
@@ -219,7 +227,7 @@ func (m *Radix) Translate(va addr.VirtAddr) Result {
 		}
 	}
 	m.stats.Walks++
-	pas, tr, ok := m.Table.WalkAddrs(va)
+	pas, tr, ok := m.Table.AppendWalkAddrs(m.walkBuf[:0], va)
 	// The PWCs are probed in parallel: skip the deepest cached prefix.
 	skip := 0
 	switch {

@@ -257,7 +257,14 @@ func (p *PageTable) TranslateSize(vpn addr.VPN, s addr.PageSize) (addr.PPN, bool
 // leaf or a non-present entry. The boolean reports whether a translation
 // was found.
 func (p *PageTable) WalkAddrs(va addr.VirtAddr) ([]addr.PhysAddr, pt.Translation, bool) {
-	var pas []addr.PhysAddr
+	return p.AppendWalkAddrs(nil, va)
+}
+
+// AppendWalkAddrs is WalkAddrs appending to a caller-supplied buffer — a
+// walk is at most MaxLevels accesses, so a caller that reuses a scratch
+// buffer of that capacity walks without allocating. This matters: the walk
+// ran once per TLB miss and was the simulator's largest allocation source.
+func (p *PageTable) AppendWalkAddrs(pas []addr.PhysAddr, va addr.VirtAddr) ([]addr.PhysAddr, pt.Translation, bool) {
 	n := p.root
 	for lvl := p.levels - 1; lvl >= 0; lvl-- {
 		idx := addr.RadixIndex(va, lvl)

@@ -275,34 +275,126 @@ func (m *Machine) Run() Result {
 	}
 
 	trace := m.cfg.Workload.NewTrace(m.cfg.Seed+7, m.cfg.Accesses)
+	// The Org dispatch is hoisted out of the access loop: each organization
+	// gets a loop over its concrete MMU type, so the per-access Translate
+	// call needs no interface lookup and the per-access counters accumulate
+	// in registers instead of Result fields.
+	switch mm := m.mmu.(type) {
+	case *mmu.HPT:
+		m.traceLoopHPT(trace, &res, mm)
+	case *mmu.Radix:
+		m.traceLoopRadix(trace, &res, mm)
+	default:
+		m.traceLoopGeneric(trace, &res)
+	}
+	m.finish(&res)
+	return res
+}
+
+// serviceFault runs the OS fault handler for va, accumulating its cycle
+// cost. It returns false if the run must stop (allocation failure).
+func (m *Machine) serviceFault(va addr.VirtAddr, res *Result) bool {
+	cycles, err := m.os.HandleFault(va)
+	res.OSCycles += cycles
+	if err != nil {
+		res.Failed = true
+		res.FailReason = err.Error()
+		return false
+	}
+	return true
+}
+
+// traceLoopHPT is the timed access loop over the hashed-page-table MMU.
+// traceLoopRadix and traceLoopGeneric are the same loop body over their
+// respective MMU types; all three must stay in lockstep.
+func (m *Machine) traceLoopHPT(trace *workload.Trace, res *Result, mm *mmu.HPT) {
+	var accesses, xlat, data uint64
 	for {
 		va, ok := trace.Next()
 		if !ok {
 			break
 		}
-		res.Accesses++
-		r := m.mmu.Translate(va)
-		res.XlatCycles += r.Cycles
+		accesses++
+		r := mm.Translate(va)
+		xlat += r.Cycles
 		if r.Fault {
-			cycles, err := m.os.HandleFault(va)
-			res.OSCycles += cycles
-			if err != nil {
-				res.Failed = true
-				res.FailReason = err.Error()
+			if !m.serviceFault(va, res) {
 				break
 			}
-			r = m.mmu.Translate(va)
-			res.XlatCycles += r.Cycles
+			r = mm.Translate(va)
+			xlat += r.Cycles
 			if r.Fault {
 				res.Failed = true
 				res.FailReason = "fault persisted after OS handling"
 				break
 			}
 		}
-		res.DataCycles += m.cache.Access(r.PA) / DataMLP
+		data += m.cache.Access(r.PA) / DataMLP
 	}
-	m.finish(&res)
-	return res
+	res.Accesses += accesses
+	res.XlatCycles += xlat
+	res.DataCycles += data
+}
+
+// traceLoopRadix mirrors traceLoopHPT for the radix MMU.
+func (m *Machine) traceLoopRadix(trace *workload.Trace, res *Result, mm *mmu.Radix) {
+	var accesses, xlat, data uint64
+	for {
+		va, ok := trace.Next()
+		if !ok {
+			break
+		}
+		accesses++
+		r := mm.Translate(va)
+		xlat += r.Cycles
+		if r.Fault {
+			if !m.serviceFault(va, res) {
+				break
+			}
+			r = mm.Translate(va)
+			xlat += r.Cycles
+			if r.Fault {
+				res.Failed = true
+				res.FailReason = "fault persisted after OS handling"
+				break
+			}
+		}
+		data += m.cache.Access(r.PA) / DataMLP
+	}
+	res.Accesses += accesses
+	res.XlatCycles += xlat
+	res.DataCycles += data
+}
+
+// traceLoopGeneric mirrors traceLoopHPT over the MMU interface, for MMU
+// implementations the fast paths do not know about.
+func (m *Machine) traceLoopGeneric(trace *workload.Trace, res *Result) {
+	var accesses, xlat, data uint64
+	for {
+		va, ok := trace.Next()
+		if !ok {
+			break
+		}
+		accesses++
+		r := m.mmu.Translate(va)
+		xlat += r.Cycles
+		if r.Fault {
+			if !m.serviceFault(va, res) {
+				break
+			}
+			r = m.mmu.Translate(va)
+			xlat += r.Cycles
+			if r.Fault {
+				res.Failed = true
+				res.FailReason = "fault persisted after OS handling"
+				break
+			}
+		}
+		data += m.cache.Access(r.PA) / DataMLP
+	}
+	res.Accesses += accesses
+	res.XlatCycles += xlat
+	res.DataCycles += data
 }
 
 func (m *Machine) finish(res *Result) {

@@ -1,0 +1,60 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// TestLookupHitAllocFree guards the steady-state translation path: a TLB
+// hit (and the MRU bookkeeping it performs) must never allocate.
+func TestLookupHitAllocFree(t *testing.T) {
+	tb := New(Config{Entries: 64, Ways: 4, Latency: 2})
+	tb.Insert(42)
+	tb.Insert(43)
+	if n := testing.AllocsPerRun(1000, func() {
+		// Alternate so the MRU copy-shift actually moves entries.
+		if !tb.Lookup(42) || !tb.Lookup(43) {
+			t.Fatal("warm lookup missed")
+		}
+	}); n != 0 {
+		t.Errorf("TLB hit allocates %v objects per call", n)
+	}
+}
+
+// TestMissInsertFlushAllocFree covers the rest of the steady-state TLB
+// surface: misses, re-inserts (with eviction), and Flush all reuse the flat
+// tag array in place.
+func TestMissInsertFlushAllocFree(t *testing.T) {
+	tb := New(Config{Entries: 16, Ways: 4, Latency: 2})
+	var vpn addr.VPN
+	if n := testing.AllocsPerRun(1000, func() {
+		vpn++
+		if tb.Lookup(vpn) {
+			t.Fatal("cold lookup hit")
+		}
+		tb.Insert(vpn)
+	}); n != 0 {
+		t.Errorf("TLB miss+insert allocates %v objects per call", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		tb.Flush()
+	}); n != 0 {
+		t.Errorf("TLB Flush allocates %v objects per call", n)
+	}
+}
+
+// TestHierarchyLookupAllocFree extends the guard to the two-level stack the
+// MMU actually queries, including the L2-refill path on an L1 miss.
+func TestHierarchyLookupAllocFree(t *testing.T) {
+	h := NewTableIII()
+	va := addr.VirtAddr(0x1234000)
+	h.Insert(va, addr.Page4K)
+	if n := testing.AllocsPerRun(1000, func() {
+		if r, _ := h.Lookup(va, addr.Page4K); r == MissAll {
+			t.Fatal("warm hierarchy lookup missed")
+		}
+	}); n != 0 {
+		t.Errorf("hierarchy lookup allocates %v objects per call", n)
+	}
+}

@@ -20,10 +20,19 @@ type Stats struct {
 }
 
 // TLB is one set-associative translation lookaside buffer keyed by VPN.
+//
+// The tag store is a single flat set-major array (sets × ways), MRU first
+// within each set, with 0 marking an empty slot (tags are stored as VPN+1).
+// Empty slots only ever appear as a suffix of a set — inserts push at the
+// front and invalidates compact leftward — so probes stop at the first
+// zero. The flat layout keeps the steady-state lookup path free of heap
+// allocation and pointer chasing; the per-set []uint64 slices it replaces
+// were the TLB's entire GC footprint.
 type TLB struct {
 	cfg   Config
 	sets  uint64
-	tags  [][]uint64 // per-set VPN+1 stacks, MRU first
+	ways  int
+	tags  []uint64 // sets × ways, set-major; 0 = empty
 	stats Stats
 }
 
@@ -37,16 +46,27 @@ func New(cfg Config) *TLB {
 	if sets == 0 {
 		sets = 1
 	}
-	return &TLB{cfg: cfg, sets: sets, tags: make([][]uint64, sets)}
+	return &TLB{cfg: cfg, sets: sets, ways: cfg.Ways,
+		tags: make([]uint64, sets*uint64(cfg.Ways))}
+}
+
+// set returns the tag slots of vpn's set.
+func (t *TLB) set(vpn addr.VPN) []uint64 {
+	base := (uint64(vpn) % t.sets) * uint64(t.ways)
+	return t.tags[base : base+uint64(t.ways)]
 }
 
 // Lookup probes for vpn, updating LRU on a hit.
 func (t *TLB) Lookup(vpn addr.VPN) bool {
-	set := t.tags[uint64(vpn)%t.sets]
+	set := t.set(vpn)
+	want := uint64(vpn) + 1
 	for i, tag := range set {
-		if tag == uint64(vpn)+1 {
+		if tag == 0 {
+			break // empties are a suffix: the rest of the set is empty
+		}
+		if tag == want {
 			copy(set[1:i+1], set[:i])
-			set[0] = uint64(vpn) + 1
+			set[0] = want
 			t.stats.Hits++
 			return true
 		}
@@ -57,38 +77,49 @@ func (t *TLB) Lookup(vpn addr.VPN) bool {
 
 // Insert installs vpn, evicting the set's LRU entry if needed.
 func (t *TLB) Insert(vpn addr.VPN) {
-	si := uint64(vpn) % t.sets
-	set := t.tags[si]
+	set := t.set(vpn)
+	want := uint64(vpn) + 1
+	n := len(set)
 	for i, tag := range set {
-		if tag == uint64(vpn)+1 {
+		if tag == 0 {
+			n = i
+			break
+		}
+		if tag == want {
 			copy(set[1:i+1], set[:i])
-			set[0] = uint64(vpn) + 1
-			t.tags[si] = set
+			set[0] = want
 			return
 		}
 	}
-	if len(set) < t.cfg.Ways {
-		set = append(set, 0)
+	if n == len(set) {
+		n-- // set full: shifting right drops the LRU tail
 	}
-	copy(set[1:], set)
-	set[0] = uint64(vpn) + 1
-	t.tags[si] = set
+	copy(set[1:n+1], set[:n])
+	set[0] = want
 }
 
 // Invalidate removes vpn if present (TLB shootdown on unmap).
 func (t *TLB) Invalidate(vpn addr.VPN) {
-	si := uint64(vpn) % t.sets
-	set := t.tags[si]
+	set := t.set(vpn)
+	want := uint64(vpn) + 1
 	for i, tag := range set {
-		if tag == uint64(vpn)+1 {
-			t.tags[si] = append(set[:i], set[i+1:]...)
+		if tag == 0 {
+			return
+		}
+		if tag == want {
+			copy(set[i:], set[i+1:])
+			set[len(set)-1] = 0
 			return
 		}
 	}
 }
 
-// Flush empties the TLB (context switch without ASIDs).
-func (t *TLB) Flush() { t.tags = make([][]uint64, t.sets) }
+// Flush empties the TLB (context switch without ASIDs). The tag array is
+// cleared in place — flushing must not churn the GC, since the OS model
+// flushes on every context-switch event.
+func (t *TLB) Flush() {
+	clear(t.tags)
+}
 
 // Latency returns the hit latency.
 func (t *TLB) Latency() uint64 { return t.cfg.Latency }

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# bench.sh — run the tier-2 benchmark suite with -benchmem, emit BENCH_<n>.json,
+# and gate against the committed baseline (BENCH_0.json).
+#
+# Environment knobs:
+#   BENCH      benchmark regexp passed to -bench        (default: .)
+#   BENCHTIME  passed to -benchtime                     (default: 1x)
+#   COUNT      passed to -count                         (default: 1)
+#   OUT        output JSON path (default: next free BENCH_<n>.json)
+#   BASELINE   baseline to compare against              (default: BENCH_0.json)
+#   TOLERANCE  allowed ns/op regression fraction        (default: 0.15)
+#   SKIP_TIME  set to 1 to gate only allocs/op and B/op (cross-machine runs)
+#
+# Exit status is nonzero when the comparison finds a regression beyond
+# tolerance, which is what the CI bench job keys off.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-.}"
+BENCHTIME="${BENCHTIME:-1x}"
+COUNT="${COUNT:-1}"
+BASELINE="${BASELINE:-BENCH_0.json}"
+TOLERANCE="${TOLERANCE:-0.15}"
+
+if [ -z "${OUT:-}" ]; then
+  n=0
+  while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+  OUT="BENCH_${n}.json"
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "== running benchmarks (-bench '$BENCH' -benchtime $BENCHTIME -count $COUNT)"
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" \
+  -count "$COUNT" -timeout 60m . | tee "$tmp"
+
+go run ./cmd/mehpt-bench parse -in "$tmp" -out "$OUT"
+echo "== wrote $OUT"
+
+if [ "$OUT" != "$BASELINE" ] && [ -e "$BASELINE" ]; then
+  echo "== comparing against $BASELINE (ns/op tolerance ${TOLERANCE})"
+  extra=()
+  if [ "${SKIP_TIME:-0}" = "1" ]; then
+    extra+=(-skip-time)
+  fi
+  go run ./cmd/mehpt-bench compare -baseline "$BASELINE" -new "$OUT" \
+    -tolerance "$TOLERANCE" "${extra[@]}"
+else
+  echo "== no baseline comparison ($OUT is the baseline or $BASELINE missing)"
+fi

@@ -18,6 +18,7 @@ import (
 	"repro/internal/phys"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/tenant"
 	"repro/internal/tlb"
 	"repro/internal/workload"
 )
@@ -403,6 +404,41 @@ func BenchmarkSteadyStateTranslate(b *testing.B) {
 				}
 			}
 			b.ReportMetric(batch, "accesses/op")
+		})
+	}
+}
+
+// BenchmarkMultiTenant runs the sharded multi-core machine end to end —
+// striped pool, seeded scheduler, shared-segment shootdowns — and checks
+// its fingerprint stays fixed across iterations (a drifting fingerprint
+// means nondeterminism, which is a correctness bug, not a perf number).
+func BenchmarkMultiTenant(b *testing.B) {
+	for _, org := range []sim.Org{sim.Radix, sim.MEHPT} {
+		b.Run(org.String(), func(b *testing.B) {
+			cfg := tenant.Config{
+				Org:             org,
+				Processes:       8,
+				Cores:           4,
+				MemBytes:        512 * addr.MB,
+				FMFI:            0.7,
+				Seed:            42,
+				AccessesPerProc: 2000,
+				Quantum:         256,
+				Scale:           4096,
+			}
+			var fp string
+			for i := 0; i < b.N; i++ {
+				res, err := tenant.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if fp == "" {
+					fp = res.Fingerprint
+				} else if res.Fingerprint != fp {
+					b.Fatal("fingerprint drifted across iterations")
+				}
+			}
+			b.ReportMetric(float64(cfg.Processes)*float64(cfg.AccessesPerProc), "accesses/op")
 		})
 	}
 }

@@ -1,7 +1,13 @@
 // Command mehpt-experiments regenerates every table and figure in the
 // paper's evaluation. Run with -exp all (default) or a comma-separated
-// subset: table1,table2,alloccost,frag,fig8,fig9,fig10,fig11,fig12,fig13,
-// fig14,fig15,fig16.
+// subset: table1,table2,alloccost,frag,multitenant,fig8,fig9,fig10,fig11,
+// fig12,fig13,fig14,fig15,fig16.
+//
+// -exp multitenant runs the sharded multi-core machine over the -cores ×
+// -processes matrix (comma lists) for every page-table organization. The
+// machine's canonical fingerprint depends only on the organization, the
+// process count, and the seed — never on -cores or -parallel — and the
+// driver exits non-zero if any cell violates that contract.
 //
 // -scale 1 is the paper's full configuration (takes minutes); larger scales
 // divide every footprint for quick looks.
@@ -28,6 +34,7 @@ import (
 	"runtime/pprof"
 	"runtime/trace"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -40,7 +47,7 @@ import (
 
 func main() {
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiments to run, or 'all' (table1,table2,alloccost,frag,fivelevel,virt,fig8..fig16)")
+		expFlag    = flag.String("exp", "all", "comma-separated experiments to run, or 'all' (table1,table2,alloccost,frag,fivelevel,virt,multitenant,fig8..fig16)")
 		scale      = flag.Uint64("scale", 1, "footprint divisor (1 = paper's full scale)")
 		accesses   = flag.Uint64("accesses", 30_000_000, "timed trace length for fig9")
 		memGB      = flag.Uint64("mem", 64, "simulated physical memory (GB)")
@@ -50,6 +57,8 @@ func main() {
 		progress   = flag.Bool("progress", true, "print per-run wall-clock timing as the matrix executes")
 		jsonOut    = flag.String("json", "", "write machine-readable results (all experiment rows) to this file")
 		injectSpec = flag.String("inject", "", "fault-injection policy for every run's allocator, e.g. 'nth=50', 'rate=0.01+pressure=0.9' (see internal/inject)")
+		coresFlag  = flag.String("cores", "1,2,4,8", "comma-separated simulated core counts for the multitenant matrix")
+		procsFlag  = flag.String("processes", "8", "comma-separated simulated process counts for the multitenant matrix")
 		failFast   = flag.Bool("fail-fast", false, "abort each experiment's remaining jobs after the first failure (forfeits worker-count determinism)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the suite run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof allocation profile (alloc_space) to this file at exit")
@@ -112,6 +121,22 @@ func main() {
 			exitf(2)
 		}
 	}
+
+	// Axis lists for the multitenant matrix.
+	parseAxis := func(name, spec string) []int {
+		var out []int
+		for _, s := range strings.Split(spec, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "mehpt-experiments: -%s: %q is not a positive integer\n", name, s)
+				exitf(2)
+			}
+			out = append(out, n)
+		}
+		return out
+	}
+	coreAxis := parseAxis("cores", *coresFlag)
+	procAxis := parseAxis("processes", *procsFlag)
 
 	failures := &experiments.FailureLog{}
 	o := experiments.DefaultOptions()
@@ -196,6 +221,16 @@ func main() {
 	run("frag", func() any {
 		rows := experiments.RunFragmentationStress(o.MemBytes/8, o.Seed)
 		experiments.FprintFragmentationStress(w, rows)
+		return rows
+	})
+	run("multitenant", func() any {
+		rows := experiments.MultiTenant(o, coreAxis, procAxis)
+		experiments.FprintMultiTenant(w, rows)
+		if bad := experiments.MultiTenantFingerprintsAgree(rows); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "mehpt-experiments: multitenant determinism violation at %s\n",
+				strings.Join(bad, ", "))
+			exitf(1)
+		}
 		return rows
 	})
 	run("table1", func() any {

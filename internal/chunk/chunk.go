@@ -58,7 +58,7 @@ func (s *Store) nextRung() uint64 {
 // list, the current chunk size, and the L2P entries that point at the
 // chunks. It is pure accounting — slot contents live in the page table.
 type Store struct {
-	alloc  *phys.Allocator
+	alloc  phys.Source
 	l2p    *l2p.Table
 	way    int
 	size   addr.PageSize
@@ -72,7 +72,7 @@ type Store struct {
 // NewStore creates the backing for a way of initialWayBytes, starting at the
 // smallest chunk size of the default ladder. It returns the allocation cycle
 // cost.
-func NewStore(alloc *phys.Allocator, tbl *l2p.Table, way int, size addr.PageSize, initialWayBytes uint64) (*Store, uint64, error) {
+func NewStore(alloc phys.Source, tbl *l2p.Table, way int, size addr.PageSize, initialWayBytes uint64) (*Store, uint64, error) {
 	return NewStoreLadder(alloc, tbl, way, size, initialWayBytes, Ladder)
 }
 
@@ -80,7 +80,7 @@ func NewStore(alloc *phys.Allocator, tbl *l2p.Table, way int, size addr.PageSize
 // Figure 15 ablation that only has 1MB chunks). The ladder must be sorted
 // ascending; the smallest feasible rung that covers initialWayBytes within
 // the L2P limit is chosen.
-func NewStoreLadder(alloc *phys.Allocator, tbl *l2p.Table, way int, size addr.PageSize, initialWayBytes uint64, ladder []uint64) (*Store, uint64, error) {
+func NewStoreLadder(alloc phys.Source, tbl *l2p.Table, way int, size addr.PageSize, initialWayBytes uint64, ladder []uint64) (*Store, uint64, error) {
 	if len(ladder) == 0 {
 		panic("chunk: empty ladder")
 	}

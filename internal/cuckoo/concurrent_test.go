@@ -119,3 +119,129 @@ func BenchmarkConcurrentLookup(b *testing.B) {
 		}
 	})
 }
+
+// TestConcurrentStatsCountReadPath pins down the seed-era stats bug: the
+// RLock fast path could not touch Table.stats, so steady-state lookups
+// simply vanished from Stats() while resize-window (upgraded) lookups were
+// counted. The merged snapshot must account every lookup exactly once,
+// whichever path served it.
+func TestConcurrentStatsCountReadPath(t *testing.T) {
+	c := newConcurrent()
+	for k := uint64(0); k < 600; k++ { // enough inserts to drive resizes
+		if _, err := c.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := c.Stats()
+	const lookups = 1000
+	for i := uint64(0); i < lookups; i++ {
+		c.Lookup(i % 600)
+	}
+	st := c.Stats()
+	if got := st.Lookups - base.Lookups; got != lookups {
+		t.Errorf("Stats().Lookups grew by %d, want %d", got, lookups)
+	}
+	if st.ProbeSlots <= base.ProbeSlots {
+		t.Error("read-path lookups left ProbeSlots unchanged")
+	}
+}
+
+// TestConcurrentUpsertVisibleToReaders: Insert on an existing key replaces
+// the value (the shared-region remap path), and readers racing with remaps
+// only ever observe one of the published values.
+func TestConcurrentUpsertVisibleToReaders(t *testing.T) {
+	c := newConcurrent()
+	const keys = 128
+	for k := uint64(0); k < keys; k++ {
+		c.Insert(k, 1)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.Intn(keys))
+				v, ok := c.Lookup(k)
+				if !ok {
+					t.Errorf("key %d vanished", k)
+					return
+				}
+				if v != 1 && v != 2 {
+					t.Errorf("key %d = %d, want a published value", k, v)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	for k := uint64(0); k < keys; k++ {
+		if _, err := c.Insert(k, 2); err != nil { // remap: upsert in place
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if c.Len() != keys {
+		t.Errorf("Len = %d after upserts, want %d (no duplicates)", c.Len(), keys)
+	}
+	for k := uint64(0); k < keys; k++ {
+		if v, _ := c.Lookup(k); v != 2 {
+			t.Errorf("key %d = %d after remap, want 2", k, v)
+		}
+	}
+}
+
+// TestConcurrentResizeSerialized drives the table through growth while
+// readers hammer it, then verifies the gradual resize left every key
+// reachable — the serialized-resize contract the multi-tenant shared
+// region depends on.
+func TestConcurrentResizeSerialized(t *testing.T) {
+	c := newConcurrent()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(rng.Intn(20000))
+				if v, ok := c.Lookup(k); ok && v != k+7 {
+					t.Errorf("Lookup(%d) = %d, want %d", k, v, k+7)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	sawResize := false
+	for k := uint64(0); k < 20000; k++ {
+		if _, err := c.Insert(k, k+7); err != nil {
+			t.Fatal(err)
+		}
+		if !sawResize && c.Resizing() {
+			sawResize = true
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if !sawResize {
+		t.Error("20000 inserts never left a resize observable; growth path untested")
+	}
+	for k := uint64(0); k < 20000; k++ {
+		if v, ok := c.Lookup(k); !ok || v != k+7 {
+			t.Fatalf("post-growth Lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+}

@@ -100,5 +100,13 @@ func (w *Walker) Invalidate(va addr.VirtAddr) {
 	}
 }
 
+// Flush empties both CWCs. CWT contents are per address space and the
+// walker caches carry no ASID, so a context switch must drop them. The tag
+// slices are truncated in place, keeping the flush allocation-free.
+func (w *Walker) Flush() {
+	w.pmd.tags = w.pmd.tags[:0]
+	w.pud.tags = w.pud.tags[:0]
+}
+
 // Stats returns hit/miss counters.
 func (w *Walker) Stats() Stats { return w.stats }

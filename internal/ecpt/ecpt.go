@@ -64,7 +64,7 @@ type Table struct {
 	size  addr.PageSize
 	ways  int
 	tb    *cuckoo.Table
-	alloc *phys.Allocator
+	alloc phys.Source
 	// groups holds live way allocations oldest-first: during a resize the
 	// first group backs the old table and the last the new one.
 	groups []group
@@ -72,7 +72,7 @@ type Table struct {
 }
 
 // NewTable creates an ECPT for one page size with contiguous initial ways.
-func NewTable(size addr.PageSize, alloc *phys.Allocator, cfg Config) (*Table, error) {
+func NewTable(size addr.PageSize, alloc phys.Source, cfg Config) (*Table, error) {
 	t := &Table{size: size, ways: cfg.Ways, alloc: alloc}
 	ccfg := cuckoo.Config{
 		Ways:           cfg.Ways,

@@ -14,12 +14,12 @@ import (
 type PageTable struct {
 	tables [addr.NumPageSizes]*Table
 	slab   pt.Slab
-	alloc  *phys.Allocator
+	alloc  phys.Source
 	cfg    Config
 }
 
 // NewPageTable creates a process's ECPT with its initial 4KB table.
-func NewPageTable(alloc *phys.Allocator, cfg Config) (*PageTable, error) {
+func NewPageTable(alloc phys.Source, cfg Config) (*PageTable, error) {
 	p := &PageTable{alloc: alloc, cfg: cfg}
 	t, err := NewTable(addr.Page4K, alloc, cfg)
 	if err != nil {

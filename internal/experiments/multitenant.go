@@ -1,0 +1,145 @@
+// The multi-tenant driver runs the sharded multi-core machine
+// (internal/tenant) over a cores × processes matrix for every page-table
+// organization, and checks the determinism contract as it goes: the
+// canonical fingerprint of a (org, processes) cell must be bit-identical
+// at every simulated core count, because the machine seed is derived from
+// the job's identity *without* the core count.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/tenant"
+)
+
+// MultiTenantRow is one machine run of the multi-tenant matrix: the
+// tenant.Result plus the job-level failure envelope (a machine that could
+// not even boot still occupies its row, keeping the matrix shape — and the
+// JSON output — identical at every worker count).
+type MultiTenantRow struct {
+	tenant.Result
+	JobFailed  bool   `json:"job_failed,omitempty"`
+	FailReason string `json:"fail_reason,omitempty"`
+}
+
+// mtJob identifies one multi-tenant machine run. The seed is derived from
+// org and process count only — never from cores — so rows of one
+// (org, processes) cell replay the same canonical history on different
+// core counts.
+type mtJob struct {
+	org   sim.Org
+	procs int
+	cores int
+}
+
+func (j mtJob) label() string {
+	return fmt.Sprintf("%s/p%d/c%d", j.org, j.procs, j.cores)
+}
+
+// MultiTenant fans the multi-tenant machine matrix out over the worker
+// pool. cores and processes are the axis values (the CLI's -cores and
+// -processes flags); every page-table organization runs the full cross
+// product. Results come back in submission order: org-major, then
+// processes, then cores.
+func MultiTenant(o Options, cores, processes []int) []MultiTenantRow {
+	var jobs []mtJob
+	for _, org := range []sim.Org{sim.Radix, sim.ECPT, sim.MEHPT} {
+		for _, p := range processes {
+			for _, c := range cores {
+				jobs = append(jobs, mtJob{org: org, procs: p, cores: c})
+			}
+		}
+	}
+	envs := runner.MapSafe(o.Parallel, jobs, nil, func(_ int, j mtJob) (MultiTenantRow, error) {
+		cfg := tenant.Config{
+			Org:       j.org,
+			Processes: j.procs,
+			Cores:     j.cores,
+			MemBytes:  o.MemBytes,
+			FMFI:      o.FMFI,
+			// Identity-pure seed: org and process count, NOT cores. This is
+			// what makes the fingerprint comparable across the cores axis.
+			Seed:   runner.DeriveSeed(o.Seed, "multitenant", j.org.String(), false, fmt.Sprintf("p%d", j.procs)),
+			Scale:  o.Scale,
+			Inject: o.Inject,
+		}
+		res, err := tenant.Run(cfg)
+		if err != nil {
+			return MultiTenantRow{}, err
+		}
+		return MultiTenantRow{Result: *res}, nil
+	})
+	rows := make([]MultiTenantRow, len(envs))
+	for i, e := range envs {
+		j := jobs[i]
+		switch {
+		case e.Panic != nil:
+			rows[i] = MultiTenantRow{JobFailed: true,
+				FailReason: fmt.Sprintf("panic: %v", e.Panic)}
+			rows[i].Org, rows[i].Processes, rows[i].Cores = j.org.String(), j.procs, j.cores
+			o.noteFailure(j.label(), rows[i].FailReason, true, e.Stack)
+		case e.Err != nil:
+			rows[i] = MultiTenantRow{JobFailed: true, FailReason: e.Err.Error()}
+			rows[i].Org, rows[i].Processes, rows[i].Cores = j.org.String(), j.procs, j.cores
+			o.noteFailure(j.label(), rows[i].FailReason, false, "")
+		default:
+			rows[i] = e.Value
+		}
+	}
+	return rows
+}
+
+// MultiTenantFingerprintsAgree verifies the determinism contract over a
+// finished matrix: within each (org, processes) cell, every core count
+// produced the same canonical fingerprint. It returns the offending rows'
+// labels, empty when the contract holds. Failed jobs are skipped (they
+// have no fingerprint to compare).
+func MultiTenantFingerprintsAgree(rows []MultiTenantRow) []string {
+	want := map[string]string{} // "org/pN" -> fingerprint of first row seen
+	var bad []string
+	for _, r := range rows {
+		if r.JobFailed {
+			continue
+		}
+		cell := fmt.Sprintf("%s/p%d", r.Org, r.Processes)
+		if w, ok := want[cell]; !ok {
+			want[cell] = r.Fingerprint
+		} else if r.Fingerprint != w {
+			bad = append(bad, fmt.Sprintf("%s/c%d", cell, r.Cores))
+		}
+	}
+	return bad
+}
+
+// FprintMultiTenant renders the matrix: one line per machine with its
+// canonical accounting, core-view metrics, and fingerprint prefix, plus a
+// per-cell determinism verdict.
+func FprintMultiTenant(w io.Writer, rows []MultiTenantRow) {
+	fprintf(w, "Multi-tenant machine matrix (fingerprint is canonical: identical per org/p across cores)\n")
+	fprintf(w, "%-8s %5s %5s %12s %12s %10s %10s %9s %8s  %s\n",
+		"org", "procs", "cores", "walks", "walk-cyc", "shootdowns", "ipis", "switches", "failed", "fingerprint")
+	for _, r := range rows {
+		if r.JobFailed {
+			fprintf(w, "%-8s %5d %5d  JOB FAILED: %s\n", r.Org, r.Processes, r.Cores, r.FailReason)
+			continue
+		}
+		failed := 0
+		for _, p := range r.Procs {
+			if p.Failed {
+				failed++
+			}
+		}
+		fprintf(w, "%-8s %5d %5d %12d %12d %10d %10d %9d %8d  %.16s\n",
+			r.Org, r.Processes, r.Cores, r.Walks, r.WalkCycles,
+			r.Shootdowns.Events, r.Shootdowns.IPIsDelivered,
+			r.Switches, failed, r.Fingerprint)
+	}
+	if bad := MultiTenantFingerprintsAgree(rows); len(bad) > 0 {
+		fprintf(w, "DETERMINISM VIOLATION: fingerprint diverges at %v\n", bad)
+	} else {
+		fprintf(w, "determinism: all cells bit-identical across core counts\n")
+	}
+}

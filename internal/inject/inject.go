@@ -160,6 +160,17 @@ func Attach(a *phys.Allocator, p Policy) *Injector {
 	return in
 }
 
+// AttachStriped installs a policy-driven fault injector on a striped
+// multi-tenant pool. The pool serializes hook consultation machine-wide
+// (phys.Striped.consultHook runs under its hook mutex), so the injector's
+// policy state and counters need no synchronization of their own even when
+// the race-tier stress tests drive the pool from many goroutines.
+func AttachStriped(s *phys.Striped, p Policy) *Injector {
+	in := &Injector{policy: p}
+	s.SetHook(in.hook)
+	return in
+}
+
 // Stats returns the injector's counters.
 func (in *Injector) Stats() Stats { return in.stats }
 

@@ -1,6 +1,7 @@
 package integration
 
 import (
+	"encoding/json"
 	"reflect"
 	"strings"
 	"testing"
@@ -71,6 +72,45 @@ func TestSerialParallelEquivalence(t *testing.T) {
 				t.Errorf("first diverging line %d:\nserial:   %q\nparallel: %q", i, a[i], b[i])
 				break
 			}
+		}
+	}
+}
+
+// TestMultiTenantWorkerCoreMatrix is the PR's headline determinism gate:
+// the multi-tenant matrix over simulated cores {1,2,4,8} produces
+// byte-identical JSON at host worker counts {1,2,4,8}, and within each
+// (org, processes) cell the canonical fingerprint is identical at every
+// simulated core count. Host parallelism and simulated parallelism are
+// both pure wall-clock knobs — neither may leak into the numbers.
+func TestMultiTenantWorkerCoreMatrix(t *testing.T) {
+	o := experiments.TestOptions()
+	cores := []int{1, 2, 4, 8}
+	procs := []int{6}
+
+	render := func(parallel int) ([]experiments.MultiTenantRow, string) {
+		po := o
+		po.Parallel = parallel
+		rows := experiments.MultiTenant(po, cores, procs)
+		j, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows, string(j)
+	}
+
+	baseRows, baseJSON := render(1)
+	for _, r := range baseRows {
+		if r.JobFailed {
+			t.Fatalf("machine %s/p%d/c%d failed: %s", r.Org, r.Processes, r.Cores, r.FailReason)
+		}
+	}
+	if bad := experiments.MultiTenantFingerprintsAgree(baseRows); len(bad) > 0 {
+		t.Errorf("fingerprint diverges across simulated core counts at %v", bad)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		_, j := render(workers)
+		if j != baseJSON {
+			t.Errorf("matrix JSON at %d workers differs from serial run", workers)
 		}
 	}
 }

@@ -19,13 +19,13 @@ type PageTable struct {
 	tables [addr.NumPageSizes]*Table
 	slab   pt.Slab
 	l2pTbl *l2p.Table
-	alloc  *phys.Allocator
+	alloc  phys.Source
 	cfg    Config
 }
 
 // NewPageTable creates a process's ME-HPT. No physical memory is allocated
 // until the first mapping of each page size.
-func NewPageTable(alloc *phys.Allocator, cfg Config) (*PageTable, error) {
+func NewPageTable(alloc phys.Source, cfg Config) (*PageTable, error) {
 	if cfg.Ways < 2 {
 		panic("mehpt: need at least 2 ways")
 	}

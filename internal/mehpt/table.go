@@ -104,7 +104,7 @@ type Stats struct {
 type Table struct {
 	cfg   Config
 	size  addr.PageSize
-	alloc *phys.Allocator
+	alloc phys.Source
 	l2p   *l2p.Table
 	ways  []*way
 	mixer *hashfn.Mixer // family-wide single-CRC hashing (read-only)
@@ -126,7 +126,7 @@ type Table struct {
 
 // NewTable creates an ME-HPT for one page size. Every way starts at the
 // initial size (8KB) backed by one smallest-rung chunk.
-func NewTable(size addr.PageSize, alloc *phys.Allocator, tbl *l2p.Table, slab *pt.Slab, cfg Config) (*Table, error) {
+func NewTable(size addr.PageSize, alloc phys.Source, tbl *l2p.Table, slab *pt.Slab, cfg Config) (*Table, error) {
 	if cfg.Ways < 2 {
 		panic("mehpt: need at least 2 ways")
 	}

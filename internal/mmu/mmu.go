@@ -140,6 +140,24 @@ func (m *HPT) Invalidate(va addr.VirtAddr, s addr.PageSize) {
 	m.CWC.Invalidate(va)
 }
 
+// FlushTranslation empties the TLBs and CWCs — the per-address-space
+// translation state a no-ASID context switch must drop. The data-cache
+// hierarchy is untouched: it is physically indexed and belongs to the core,
+// not the address space.
+func (m *HPT) FlushTranslation() {
+	m.TLB.Flush()
+	m.CWC.Flush()
+}
+
+// Bind retargets this MMU shard at a new address space: table becomes the
+// walk target and all translation caches are flushed. The multi-tenant
+// scheduler calls this at every quantum boundary, so one MMU instance per
+// core serves hundreds of processes.
+func (m *HPT) Bind(table HPTPageTable) {
+	m.Table = table
+	m.FlushTranslation()
+}
+
 // pwc is one page-walk cache level: fully associative over VA prefixes.
 type pwc struct {
 	shift   uint
@@ -271,6 +289,22 @@ func (m *Radix) Translate(va addr.VirtAddr) Result {
 // Invalidate drops TLB state for va.
 func (m *Radix) Invalidate(va addr.VirtAddr, s addr.PageSize) {
 	m.TLB.Invalidate(va, s)
+}
+
+// FlushTranslation empties the TLBs and PWCs (no-ASID context switch); the
+// physically-indexed data caches stay with the core.
+func (m *Radix) FlushTranslation() {
+	m.TLB.Flush()
+	for i := range m.pwcs {
+		m.pwcs[i].tags = m.pwcs[i].tags[:0]
+	}
+}
+
+// Bind retargets this MMU shard at a new address space, flushing all
+// translation caches.
+func (m *Radix) Bind(table *radix.PageTable) {
+	m.Table = table
+	m.FlushTranslation()
 }
 
 // MMU is the interface the simulator drives; both variants satisfy it.

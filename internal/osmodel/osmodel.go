@@ -81,12 +81,12 @@ type Stats struct {
 type OS struct {
 	cfg   Config
 	pt    PageTable
-	alloc *phys.Allocator
+	alloc phys.Source
 	stats Stats
 }
 
 // New creates the OS layer for one process.
-func New(cfg Config, table PageTable, alloc *phys.Allocator) *OS {
+func New(cfg Config, table PageTable, alloc phys.Source) *OS {
 	return &OS{cfg: cfg, pt: table, alloc: alloc}
 }
 

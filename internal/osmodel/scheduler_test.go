@@ -129,3 +129,149 @@ func TestSwitchErrors(t *testing.T) {
 		t.Error("switch to missing process succeeded")
 	}
 }
+
+// --- MultiCore scheduler ---
+
+func newMultiProcs(t *testing.T, n, pages int) []*Proc {
+	t.Helper()
+	procs := make([]*Proc, n)
+	for i := range procs {
+		p, _ := newProc(t, i+1, pages)
+		p.ID = i
+		procs[i] = p
+	}
+	return procs
+}
+
+// TestMultiCoreOrderIgnoresCoreCount: the canonical per-round visit order is
+// a function of (seed, round) only — schedulers built over the same process
+// set with the same seed but different core counts draw identical
+// permutations forever. This is the invariant the multi-tenant fingerprint
+// rests on.
+func TestMultiCoreOrderIgnoresCoreCount(t *testing.T) {
+	const procs, rounds = 7, 50
+	orders := make([][][]int, 0, 3)
+	for _, cores := range []int{1, 3, 8} {
+		ps := newMultiProcs(t, procs, 10)
+		m := NewMultiCore(DefaultSwitchCosts(), cores, 12345, ps...)
+		var all [][]int
+		for r := 0; r < rounds; r++ {
+			all = append(all, append([]int(nil), m.NextRound()...))
+		}
+		orders = append(orders, all)
+	}
+	for i := 1; i < len(orders); i++ {
+		for r := range orders[0] {
+			for k := range orders[0][r] {
+				if orders[i][r][k] != orders[0][r][k] {
+					t.Fatalf("round %d: order diverges across core counts: %v vs %v",
+						r, orders[0][r], orders[i][r])
+				}
+			}
+		}
+	}
+}
+
+// TestMultiCoreRoundIsPermutation: every round visits each process exactly
+// once, and different seeds give different schedules.
+func TestMultiCoreRoundIsPermutation(t *testing.T) {
+	ps := newMultiProcs(t, 9, 10)
+	m := NewMultiCore(DefaultSwitchCosts(), 4, 1, ps...)
+	seen := make([]bool, 9)
+	for _, pid := range m.NextRound() {
+		if pid < 0 || pid >= 9 || seen[pid] {
+			t.Fatalf("round is not a permutation: pid %d", pid)
+		}
+		seen[pid] = true
+	}
+	ps2 := newMultiProcs(t, 9, 10)
+	m2 := NewMultiCore(DefaultSwitchCosts(), 4, 2, ps2...)
+	diff := false
+	for r := 0; r < 5 && !diff; r++ {
+		a := append([]int(nil), m.NextRound()...)
+		b := m2.NextRound()
+		for i := range a {
+			if a[i] != b[i] {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Error("seeds 1 and 2 drew identical schedules for 5 rounds")
+	}
+}
+
+// TestMultiCorePinning: pid is pinned to pid mod C, so placement never
+// depends on history.
+func TestMultiCorePinning(t *testing.T) {
+	ps := newMultiProcs(t, 10, 10)
+	m := NewMultiCore(DefaultSwitchCosts(), 4, 1, ps...)
+	for pid := 0; pid < 10; pid++ {
+		if got := m.CoreOf(pid); got != pid%4 {
+			t.Errorf("CoreOf(%d) = %d, want %d", pid, got, pid%4)
+		}
+	}
+}
+
+// TestMultiCoreVisitAccounting: the first visit switches (base + L2P cost),
+// an incumbent revisit is free, and displacing the incumbent charges both
+// processes' L2P entries.
+func TestMultiCoreVisitAccounting(t *testing.T) {
+	ps := newMultiProcs(t, 3, 500) // 3 procs, 1 core: constant displacement
+	m := NewMultiCore(DefaultSwitchCosts(), 1, 1, ps...)
+	core, cycles, switched := m.Visit(0)
+	if core != 0 || !switched {
+		t.Fatalf("first Visit = core %d switched %v", core, switched)
+	}
+	in := ps[0].PT.(L2PCarrier).L2PSaveRestoreEntries()
+	want := DefaultSwitchCosts().Base + uint64(in)*DefaultSwitchCosts().PerL2PEntry
+	if cycles != want {
+		t.Errorf("first switch cycles = %d, want %d (no outgoing process)", cycles, want)
+	}
+	if _, c, sw := m.Visit(0); c != 0 || sw {
+		t.Errorf("incumbent revisit charged %d cycles, switched=%v", c, sw)
+	}
+	_, cycles, _ = m.Visit(1)
+	both := in + ps[1].PT.(L2PCarrier).L2PSaveRestoreEntries()
+	want = DefaultSwitchCosts().Base + uint64(both)*DefaultSwitchCosts().PerL2PEntry
+	if cycles != want {
+		t.Errorf("displacement cycles = %d, want %d (save + restore)", cycles, want)
+	}
+	if m.Incumbent(0) != 1 {
+		t.Errorf("incumbent = %d, want 1", m.Incumbent(0))
+	}
+	if st := m.Stats(); st.Switches != 2 {
+		t.Errorf("switches = %d, want 2", st.Switches)
+	}
+}
+
+// TestMultiCoreEnoughCores: with C >= P every process keeps its core, so
+// after the first rounds no further switches happen — the scheduler models
+// dedicated-core tenancy for free.
+func TestMultiCoreEnoughCores(t *testing.T) {
+	ps := newMultiProcs(t, 4, 100)
+	m := NewMultiCore(DefaultSwitchCosts(), 4, 1, ps...)
+	for r := 0; r < 3; r++ {
+		for _, pid := range m.NextRound() {
+			m.Visit(pid)
+		}
+	}
+	if st := m.Stats(); st.Switches != 4 {
+		t.Errorf("switches = %d, want 4 (one initial bind per core)", st.Switches)
+	}
+}
+
+// TestMultiCoreVisitFlushesDisplacedTLBs mirrors TestSwitchFlushesTLBs for
+// the multi-core path.
+func TestMultiCoreVisitFlushesDisplacedTLBs(t *testing.T) {
+	ps := newMultiProcs(t, 2, 100)
+	va := addr.VirtAddr(0x1000)
+	m := NewMultiCore(DefaultSwitchCosts(), 1, 1, ps...)
+	m.Visit(0)
+	ps[0].TLBs.Insert(va, addr.Page4K)
+	m.Visit(1)
+	if r, _ := ps[0].TLBs.Lookup(va, addr.Page4K); r != tlb.MissAll {
+		t.Error("displaced process's TLBs not flushed")
+	}
+}

@@ -118,6 +118,24 @@ type AllocRequest struct {
 // failures identically.
 type AllocHook func(AllocRequest) error
 
+// Source is the costed allocation interface the OS model, the page tables,
+// and the chunk stores consume. *Allocator is the single-lock reference
+// implementation over one Memory; *StripedView is the per-owner handle onto
+// a Striped multi-tenant allocator. Consumers depend on this interface so a
+// page table is indifferent to whether its frames come from a private
+// machine or a shared, striped-lock pool.
+type Source interface {
+	// Alloc allocates a contiguous block of at least size bytes, returning
+	// the first frame and the cycle cost. A failed attempt still returns its
+	// search cost.
+	Alloc(size uint64) (addr.PPN, uint64, error)
+	// AllocRollback is Alloc for rollback paths; it bypasses any fault-
+	// injection hook (see Allocator.AllocRollback).
+	AllocRollback(size uint64) (addr.PPN, uint64, error)
+	// Free returns a block of the given byte size starting at ppn.
+	Free(ppn addr.PPN, size uint64)
+}
+
 // Allocator couples a Memory with a CostModel and a fragmentation level,
 // providing the costed allocation interface the page tables use. The
 // fragmentation level used for costing is the ambient machine fragmentation

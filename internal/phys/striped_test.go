@@ -1,0 +1,311 @@
+// Tests for the striped multi-tenant pool: a property test pinning the
+// K=1 pool to the single-lock reference allocator, sequential invariants
+// (alignment, routing, leak detection), and the race-tier stress battery —
+// no frame is ever granted twice, accounting balances, and injection stays
+// typed under concurrency.
+package phys
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// TestStripedMatchesSingleLockReference: a K=1 striped pool driven by a
+// seeded alloc/free script produces exactly the same grants, costs,
+// errors, and final free-list shape as the single-lock reference
+// Allocator over an identically-sized Memory. The striped pool is the
+// reference allocator plus sharding; at K=1 the sharding must vanish.
+func TestStripedMatchesSingleLockReference(t *testing.T) {
+	const capacity = 64 * addr.MB
+	pool := NewStriped(capacity, 1, 0.7)
+	view := pool.View(12345)
+	ref := NewAllocator(NewMemory(capacity), 0.7)
+
+	type live struct {
+		ppn  addr.PPN
+		size uint64
+	}
+	var poolLive, refLive []live
+	rng := rand.New(rand.NewSource(99))
+	sizes := []uint64{4 * addr.KB, 8 * addr.KB, 64 * addr.KB, 2 * addr.MB}
+
+	for step := 0; step < 4000; step++ {
+		if rng.Intn(3) != 0 || len(poolLive) == 0 {
+			size := sizes[rng.Intn(len(sizes))]
+			p1, c1, e1 := view.Alloc(size)
+			p2, c2, e2 := ref.Alloc(size)
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("step %d: alloc(%d) error mismatch: striped %v, reference %v",
+					step, size, e1, e2)
+			}
+			if c1 != c2 {
+				t.Fatalf("step %d: alloc(%d) cost mismatch: striped %d, reference %d",
+					step, size, c1, c2)
+			}
+			if e1 == nil {
+				if p1 != p2 {
+					t.Fatalf("step %d: alloc(%d) grant mismatch: striped %d, reference %d",
+						step, size, uint64(p1), uint64(p2))
+				}
+				poolLive = append(poolLive, live{p1, size})
+				refLive = append(refLive, live{p2, size})
+			}
+			continue
+		}
+		i := rng.Intn(len(poolLive))
+		view.Free(poolLive[i].ppn, poolLive[i].size)
+		ref.Free(refLive[i].ppn, refLive[i].size)
+		poolLive = append(poolLive[:i], poolLive[i+1:]...)
+		refLive = append(refLive[:i], refLive[i+1:]...)
+	}
+
+	if got, want := pool.FreeBytes(), ref.Mem.FreeBytes(); got != want {
+		t.Errorf("free bytes diverge: striped %d, reference %d", got, want)
+	}
+	// Striped reports all MaxOrder+1 orders; a single Memory stops at its
+	// capacity's top order. Pad before comparing shapes.
+	pad := func(xs []uint64) []uint64 {
+		out := make([]uint64, MaxOrder+1)
+		copy(out, xs)
+		return out
+	}
+	if got, want := pad(pool.FreeBlockCounts()), pad(ref.Mem.FreeBlockCounts()); !reflect.DeepEqual(got, want) {
+		t.Errorf("free-list shape diverges:\nstriped   %v\nreference %v", got, want)
+	}
+	ps, rs := pool.StatsSum(), ref.Mem.Stats()
+	if ps.Allocs != rs.Allocs || ps.Frees != rs.Frees || ps.FailedAllocs != rs.FailedAllocs {
+		t.Errorf("stats diverge: striped %d/%d/%d, reference %d/%d/%d",
+			ps.Allocs, ps.Frees, ps.FailedAllocs, rs.Allocs, rs.Frees, rs.FailedAllocs)
+	}
+}
+
+// TestStripedAlignment: stripes are whole 2MB regions, so a 2MB block's
+// global PPN stays 512-frame aligned no matter which stripe granted it —
+// the invariant THP data mappings rely on.
+func TestStripedAlignment(t *testing.T) {
+	pool := NewStriped(32*addr.MB, 3, 0.7)
+	if pool.TotalBytes()%(2*addr.MB) != 0 {
+		t.Fatalf("pool capacity %d not a 2MB multiple", pool.TotalBytes())
+	}
+	view := pool.View(7)
+	for i := 0; ; i++ {
+		ppn, _, err := view.Alloc(2 * addr.MB)
+		if err != nil {
+			if i == 0 {
+				t.Fatal("pool granted no 2MB blocks at all")
+			}
+			break
+		}
+		if uint64(ppn)%512 != 0 {
+			t.Fatalf("2MB block %d granted at frame %d: not 512-frame aligned", i, uint64(ppn))
+		}
+	}
+}
+
+// TestStripedFreeRouting: blocks freed through any view return to the
+// stripe that granted them, and freeing a frame beyond the pool panics
+// like the buddy allocator's double-free guard.
+func TestStripedFreeRouting(t *testing.T) {
+	pool := NewStriped(16*addr.MB, 2, 0.7)
+	baseline := pool.FreeBlockCounts()
+	a := pool.View(1)
+	b := pool.View(2)
+	p1, _, err := a.Alloc(64 * addr.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-view free: view b returns a's block; routing is by PPN, not home.
+	b.Free(p1, 64*addr.KB)
+	if got := pool.FreeBlockCounts(); !reflect.DeepEqual(got, baseline) {
+		t.Errorf("free-list shape after alloc+cross-view free: %v, want baseline %v", got, baseline)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("freeing a frame beyond the pool did not panic")
+		}
+	}()
+	a.Free(addr.PPN(pool.TotalBytes()/FrameBytes), 4*addr.KB)
+}
+
+// TestStripedTinyStripesPanic: a pool too small for 2MB stripes is a
+// construction error, not a silent zero-capacity pool.
+func TestStripedTinyStripesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewStriped with sub-2MB stripes did not panic")
+		}
+	}()
+	NewStriped(4*addr.MB, 8, 0.7)
+}
+
+// TestStripedConcurrentStress is the race-tier invariant battery: many
+// goroutines hammer one pool through private views with interleaved
+// allocs and frees. Invariants:
+//
+//  1. No double-grant: every granted frame range is disjoint from every
+//     other live grant (checked with a shared frame-ownership bitmap).
+//  2. Accounting balances: after every goroutine frees everything,
+//     allocs == frees, the free-byte counter returns to capacity, and the
+//     free-list shape returns to the baseline (no leaked or split blocks).
+func TestStripedConcurrentStress(t *testing.T) {
+	const (
+		capacity   = 128 * addr.MB
+		goroutines = 16
+		steps      = 2000
+	)
+	pool := NewStriped(capacity, 4, 0.7)
+	baseline := pool.FreeBlockCounts()
+	totalFrames := pool.TotalBytes() / FrameBytes
+
+	// owner[f] marks frame f granted; CompareAndSwap-like discipline under
+	// a plain mutex keeps the checker itself race-free.
+	owner := make([]bool, totalFrames)
+	var ownerMu sync.Mutex
+	claim := func(ppn addr.PPN, size uint64) bool {
+		frames := BlockBytes(OrderFor(size)) / FrameBytes
+		ownerMu.Lock()
+		defer ownerMu.Unlock()
+		for f := uint64(ppn); f < uint64(ppn)+frames; f++ {
+			if owner[f] {
+				return false
+			}
+		}
+		for f := uint64(ppn); f < uint64(ppn)+frames; f++ {
+			owner[f] = true
+		}
+		return true
+	}
+	release := func(ppn addr.PPN, size uint64) {
+		frames := BlockBytes(OrderFor(size)) / FrameBytes
+		ownerMu.Lock()
+		defer ownerMu.Unlock()
+		for f := uint64(ppn); f < uint64(ppn)+frames; f++ {
+			owner[f] = false
+		}
+	}
+
+	sizes := []uint64{4 * addr.KB, 16 * addr.KB, 64 * addr.KB, 2 * addr.MB}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			view := pool.View(uint64(id))
+			rng := rand.New(rand.NewSource(int64(1000 + id)))
+			type live struct {
+				ppn  addr.PPN
+				size uint64
+			}
+			var held []live
+			for i := 0; i < steps; i++ {
+				if rng.Intn(3) != 0 || len(held) == 0 {
+					size := sizes[rng.Intn(len(sizes))]
+					ppn, _, err := view.Alloc(size)
+					if err != nil {
+						if !errors.Is(err, ErrOutOfMemory) {
+							t.Errorf("goroutine %d: alloc error not typed: %v", id, err)
+						}
+						continue
+					}
+					if !claim(ppn, size) {
+						t.Errorf("goroutine %d: frame %d (size %d) granted while already live",
+							id, uint64(ppn), size)
+						return
+					}
+					held = append(held, live{ppn, size})
+				} else {
+					i := rng.Intn(len(held))
+					release(held[i].ppn, held[i].size)
+					view.Free(held[i].ppn, held[i].size)
+					held = append(held[:i], held[i+1:]...)
+				}
+			}
+			for _, h := range held {
+				release(h.ppn, h.size)
+				view.Free(h.ppn, h.size)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := pool.FreeBytes(); got != pool.TotalBytes() {
+		t.Errorf("free bytes after full teardown: %d, want capacity %d", got, pool.TotalBytes())
+	}
+	if got := pool.FreeBlockCounts(); !reflect.DeepEqual(got, baseline) {
+		t.Errorf("free-list shape leaked:\ngot      %v\nbaseline %v", got, baseline)
+	}
+	s := pool.StatsSum()
+	if s.Allocs != s.Frees {
+		t.Errorf("accounting imbalance: %d allocs, %d frees", s.Allocs, s.Frees)
+	}
+	if s.Allocs == 0 {
+		t.Error("stress loop allocated nothing; the test exercised no pool code")
+	}
+}
+
+// TestStripedConcurrentHook: the machine-wide injection hook is consulted
+// exactly once per Alloc attempt even under contention — sequence numbers
+// never repeat or skip — and hook-failed attempts surface typed errors
+// without granting frames.
+func TestStripedConcurrentHook(t *testing.T) {
+	pool := NewStriped(64*addr.MB, 4, 0.7)
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	injected := errors.New("hook says no")
+	pool.SetHook(func(req AllocRequest) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if seen[req.Seq] {
+			t.Errorf("sequence number %d issued twice", req.Seq)
+		}
+		seen[req.Seq] = true
+		if req.Seq%5 == 0 {
+			return injected
+		}
+		return nil
+	})
+
+	const goroutines, attempts = 8, 300
+	var wg sync.WaitGroup
+	var hits, misses [goroutines]int
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			view := pool.View(uint64(id))
+			for i := 0; i < attempts; i++ {
+				ppn, _, err := view.Alloc(4 * addr.KB)
+				if err != nil {
+					if !errors.Is(err, injected) {
+						t.Errorf("goroutine %d: unexpected alloc error: %v", id, err)
+					}
+					misses[id]++
+					continue
+				}
+				hits[id]++
+				view.Free(ppn, 4*addr.KB)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total, failed := 0, 0
+	for g := 0; g < goroutines; g++ {
+		total += hits[g] + misses[g]
+		failed += misses[g]
+	}
+	if want := goroutines * attempts; len(seen) != want {
+		t.Errorf("hook consulted %d times, want exactly %d", len(seen), want)
+	}
+	if want := goroutines * attempts / 5; failed != want {
+		t.Errorf("injected failures: %d, want %d (every 5th attempt)", failed, want)
+	}
+	if got := pool.FreeBytes(); got != pool.TotalBytes() {
+		t.Errorf("free bytes after hook storm: %d, want %d", got, pool.TotalBytes())
+	}
+}

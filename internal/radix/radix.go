@@ -69,12 +69,12 @@ type Stats struct {
 type PageTable struct {
 	root   *node
 	levels int
-	alloc  *phys.Allocator
+	alloc  phys.Source
 	stats  Stats
 }
 
 // NewPageTable creates an empty four-level tree with just the root node.
-func NewPageTable(alloc *phys.Allocator) (*PageTable, error) {
+func NewPageTable(alloc phys.Source) (*PageTable, error) {
 	return NewPageTableLevels(alloc, Levels)
 }
 
@@ -82,7 +82,7 @@ func NewPageTable(alloc *phys.Allocator) (*PageTable, error) {
 // LA57). A deeper tree covers more virtual address space at the cost of
 // one more dependent memory access per uncached walk — the scalability
 // trend the paper argues against.
-func NewPageTableLevels(alloc *phys.Allocator, levels int) (*PageTable, error) {
+func NewPageTableLevels(alloc phys.Source, levels int) (*PageTable, error) {
 	if levels < Levels || levels > MaxLevels {
 		return nil, fmt.Errorf("radix: unsupported depth %d", levels)
 	}

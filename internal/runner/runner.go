@@ -167,3 +167,20 @@ func DeriveSeed(base int64, workload, org string, thp bool, ablation string) int
 	}
 	return int64(h)
 }
+
+// DeriveSubSeed extends the seed tree one level below a job: from the job's
+// own seed, a domain label ("proc", "sched", "shared", "core"), and an
+// index within that domain it derives an unrelated seed. The multi-tenant
+// machine uses it to give every simulated process, the scheduler, and the
+// shared-region manager a private generator whose seed is a pure function
+// of identity — never of host worker count or simulated core topology —
+// which is what keeps fingerprints bit-identical across both axes.
+func DeriveSubSeed(base int64, domain string, index uint64) int64 {
+	h := splitmix64(uint64(base))
+	for i := 0; i < len(domain); i++ {
+		h = splitmix64(h ^ uint64(domain[i]))
+	}
+	h = splitmix64(h ^ fieldSep)
+	h = splitmix64(h ^ index)
+	return int64(h)
+}

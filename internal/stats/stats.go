@@ -125,6 +125,26 @@ func (h *Histogram) String() string {
 	return b.String()
 }
 
+// Shootdowns aggregates TLB-shootdown and IPI activity for the multi-tenant
+// simulation. The struct is split along the canonical/core-view boundary
+// DESIGN.md's multi-tenant determinism contract draws:
+//
+//   - Events and SharersNotified are canonical, address-space-granular
+//     accounting (a remap of a shared page is one event notifying every
+//     other live sharer process), independent of how processes are packed
+//     onto cores. They are part of the run fingerprint.
+//   - IPIsDelivered and IPICycles are core-view: an IPI goes to each *core*
+//     with a resident address space, so packing more processes per core
+//     delivers fewer, costlier-per-tenant interrupts. They are reported but
+//     excluded from the fingerprint, since they legitimately vary with the
+//     simulated core count.
+type Shootdowns struct {
+	Events          uint64 `json:"events"`
+	SharersNotified uint64 `json:"sharers_notified"`
+	IPIsDelivered   uint64 `json:"ipis_delivered"`
+	IPICycles       uint64 `json:"ipi_cycles"`
+}
+
 // Ftoa formats a fraction with three decimals (figure rendering helper).
 func Ftoa(f float64) string { return fmt.Sprintf("%.3f", f) }
 

@@ -1,0 +1,81 @@
+// The multi-tenant fault sweep: the PR 3 policy × seed grid pointed at the
+// sharded machine. Every cell must complete without a panic, every tenant
+// failure must carry a typed chain reaching phys.ErrOutOfMemory and
+// inject.ErrInjected, survivors must run their full budget, and each cell
+// must reproduce its fingerprint exactly on a second run.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/inject"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+func TestTenantFaultSweep(t *testing.T) {
+	policies := []string{
+		"nth=50",         // dense periodic failures
+		"nth=400",        // sparse periodic failures
+		"after=100",      // hard exhaustion early in the run
+		"after=2000",     // exhaustion after steady state
+		"rate=0.01",      // light random failures
+		"rate=0.1",       // heavy random failures
+		"big=2MB",        // fragmentation: only small blocks allocate
+		"pressure=0.001", // near-total pressure ceiling
+		"nth=97+big=2MB", // composed: periodic plus fragmentation
+	}
+	seeds := []int64{1, 2, 3}
+	orgs := []sim.Org{sim.Radix, sim.ECPT, sim.MEHPT}
+	for i, spec := range policies {
+		// Rotate organizations across the grid so every org sees several
+		// policies without tripling the cell count.
+		org := orgs[i%len(orgs)]
+		for _, seed := range seeds {
+			spec, seed, org := spec, seed, org
+			t.Run(fmt.Sprintf("%s/%s/seed%d", spec, org, seed), func(t *testing.T) {
+				t.Parallel()
+				cfg := testConfig(org, 2)
+				cfg.Seed = seed
+				cfg.Inject = spec
+				cfg.AccessesPerProc = 800
+
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("machine did not survive injection: %v", err)
+				}
+				for _, p := range res.Procs {
+					if !p.Failed {
+						if p.Accesses != cfg.AccessesPerProc {
+							t.Errorf("survivor %d ran %d/%d accesses",
+								p.PID, p.Accesses, cfg.AccessesPerProc)
+						}
+						continue
+					}
+					if p.FailureErr == nil {
+						t.Errorf("failed tenant %d lost its error chain", p.PID)
+						continue
+					}
+					if !errors.Is(p.FailureErr, phys.ErrOutOfMemory) {
+						t.Errorf("tenant %d failure does not reach phys.ErrOutOfMemory: %v",
+							p.PID, p.FailureErr)
+					}
+					if !errors.Is(p.FailureErr, inject.ErrInjected) {
+						t.Errorf("tenant %d failure not marked injected: %v",
+							p.PID, p.FailureErr)
+					}
+				}
+				res2, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("second run failed: %v", err)
+				}
+				if res2.Fingerprint != res.Fingerprint {
+					t.Errorf("cell not reproducible: %s vs %s",
+						res.Fingerprint, res2.Fingerprint)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,629 @@
+// Package tenant is the multi-tenant sharded simulation mode: N simulated
+// cores replaying interleaved traces from many simulated processes, every
+// address space allocating frames from one machine-wide striped-lock pool
+// (phys.Striped), with a read-mostly shared segment translated through a
+// concurrent elastic cuckoo table (cuckoo.ConcurrentTable) and remapped
+// periodically to drive TLB-shootdown traffic.
+//
+// # Determinism contract
+//
+// A machine executes in *canonical order*: one goroutine visits processes
+// round by round in a seeded-permutation order drawn by the MultiCore
+// scheduler, whose schedule is a pure function of (seed, round) — never of
+// the core count. Host parallelism stays where PR 1 put it, at the
+// experiment-matrix level. Core-count invariance comes from two rules:
+//
+//   - Pinning: process pid runs on core pid mod C, a pure function of
+//     identity.
+//   - Canonical cold start: a core's translation shard (TLBs, CWCs/PWCs)
+//     is rebound and flushed at *every* quantum boundary, incumbent or
+//     not, so the state a quantum starts from never depends on what the
+//     core ran before — i.e. on C. Data-cache state is per-process and
+//     follows the process across cores.
+//
+// Everything that feeds the run fingerprint (per-process cycles, faults,
+// walk counts, pool accounting, shootdown events and sharers) is therefore
+// bit-identical at any simulated core count and any host worker count.
+// Metrics that *legitimately* depend on packing — context switches saved by
+// incumbency, IPIs delivered per shootdown — are reported as core-view
+// metrics outside the fingerprint (see stats.Shootdowns).
+//
+// # Seed tree
+//
+// Every generator derives from the machine seed through the splitmix64
+// seed tree (runner.DeriveSubSeed): per-process trace, table, and
+// shared-overlay RNGs under "proc"/pid, the scheduler permutation under
+// "sched", the shared-region manager under "shared", and the injection
+// policy under "inject". No RNG is ever shared between two owners.
+package tenant
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/cuckoo"
+	"repro/internal/ecpt"
+	"repro/internal/hashfn"
+	"repro/internal/inject"
+	"repro/internal/mehpt"
+	"repro/internal/mmu"
+	"repro/internal/osmodel"
+	"repro/internal/phys"
+	"repro/internal/radix"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+	"repro/internal/workload"
+)
+
+// SharedBaseVA is where the machine-wide shared segment lives; it is far
+// above workload.BaseVA so shared and private pages never collide.
+const SharedBaseVA = addr.VirtAddr(0x7F00_0000_0000)
+
+// sharedPTBase is the synthetic physical region where the shared segment's
+// hashed page-table lines notionally live (distinct from data and per-
+// process page-table addresses).
+const sharedPTBase = addr.PhysAddr(1) << 46
+
+// ipiCycles is the core-view cost of delivering one shootdown IPI: a
+// remote interrupt, TLB invalidation, and acknowledgment.
+const ipiCycles = 2000
+
+// Config parameterizes one multi-tenant machine.
+type Config struct {
+	Org       sim.Org
+	Processes int
+	Cores     int
+	// MemBytes is the pooled physical capacity behind the striped allocator.
+	MemBytes uint64
+	// Stripes is the lock-stripe count; 0 picks min(8, Processes).
+	Stripes int
+	// FMFI is the ambient fragmentation used to price allocations.
+	FMFI float64
+	// Seed is the machine seed; derive it from the suite seed and the job
+	// identity (runner.DeriveSeed) so the fingerprint is identity-pure.
+	Seed int64
+	// AccessesPerProc is each process's total access budget.
+	AccessesPerProc uint64
+	// Quantum is the accesses a process executes per scheduling visit.
+	Quantum uint64
+	// Scale divides workload footprints (workload.Specs); tenants cycle
+	// through the paper's eleven applications.
+	Scale uint64
+	// SharedPages sizes the machine-wide shared segment (4KB pages).
+	SharedPages uint64
+	// SharedFraction is the probability an access targets the shared
+	// segment instead of the process's private trace.
+	SharedFraction float64
+	// RemapsPerRound is how many shared pages are remapped (each remap is
+	// one TLB-shootdown event) at the end of every scheduling round.
+	RemapsPerRound int
+	// Inject, when non-empty, is an inject.Parse policy applied to the
+	// shared pool's allocations.
+	Inject string
+}
+
+// withDefaults fills the zero-value knobs.
+func (c Config) withDefaults() Config {
+	if c.Processes <= 0 {
+		c.Processes = 8
+	}
+	if c.Cores <= 0 {
+		c.Cores = 1
+	}
+	if c.MemBytes == 0 {
+		c.MemBytes = 4 * addr.GB
+	}
+	if c.Stripes <= 0 {
+		c.Stripes = 8
+		if c.Processes < c.Stripes {
+			c.Stripes = c.Processes
+		}
+	}
+	if c.AccessesPerProc == 0 {
+		c.AccessesPerProc = 4096
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 1024
+	}
+	if c.Scale == 0 {
+		c.Scale = 4096
+	}
+	if c.SharedPages == 0 {
+		c.SharedPages = 256
+	}
+	if c.SharedFraction == 0 {
+		c.SharedFraction = 0.05
+	}
+	if c.RemapsPerRound == 0 {
+		c.RemapsPerRound = 4
+	}
+	return c
+}
+
+// ProcResult is one tenant's canonical accounting.
+type ProcResult struct {
+	PID            int    `json:"pid"`
+	Workload       string `json:"workload"`
+	Accesses       uint64 `json:"accesses"`
+	SharedAccesses uint64 `json:"shared_accesses"`
+	Faults         uint64 `json:"faults"`
+	XlatCycles     uint64 `json:"xlat_cycles"`
+	DataCycles     uint64 `json:"data_cycles"`
+	OSCycles       uint64 `json:"os_cycles"`
+	Failed         bool   `json:"failed"`
+	Failure        string `json:"failure,omitempty"`
+	// FailureErr carries the typed error chain for errors.Is assertions;
+	// it is excluded from JSON and from the fingerprint.
+	FailureErr error `json:"-"`
+}
+
+// Result is one machine run. Canonical fields feed the Fingerprint;
+// core-view fields (switches, IPIs) are reported alongside but excluded,
+// since they legitimately vary with the simulated core count.
+type Result struct {
+	Org       string `json:"org"`
+	Processes int    `json:"processes"`
+	Cores     int    `json:"cores"`
+
+	Procs []ProcResult `json:"procs"`
+
+	// Canonical machine-wide accounting.
+	Walks            uint64           `json:"walks"`
+	WalkCycles       uint64           `json:"walk_cycles"`
+	TLBHits          uint64           `json:"tlb_hits"`
+	SharedLookups    uint64           `json:"shared_lookups"`
+	SharedLen        uint64           `json:"shared_len"`
+	PoolAllocs       uint64           `json:"pool_allocs"`
+	PoolFrees        uint64           `json:"pool_frees"`
+	PoolFailedAllocs uint64           `json:"pool_failed_allocs"`
+	PoolFreeBytes    uint64           `json:"pool_free_bytes"`
+	Rounds           uint64           `json:"rounds"`
+	Shootdowns       stats.Shootdowns `json:"shootdowns"`
+
+	// Core-view metrics (outside the fingerprint).
+	Switches     uint64 `json:"switches"`
+	SwitchCycles uint64 `json:"switch_cycles"`
+
+	// Fingerprint is the SHA-256 of the canonical fields, the value the
+	// determinism matrix asserts bit-identical across host worker counts
+	// and simulated core counts.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// canonical is the fingerprinted projection of a Result: everything except
+// the core-view metrics. Shootdown IPI fields are zeroed before hashing.
+type canonical struct {
+	Org              string           `json:"org"`
+	Processes        int              `json:"processes"`
+	Procs            []ProcResult     `json:"procs"`
+	Walks            uint64           `json:"walks"`
+	WalkCycles       uint64           `json:"walk_cycles"`
+	TLBHits          uint64           `json:"tlb_hits"`
+	SharedLookups    uint64           `json:"shared_lookups"`
+	SharedLen        uint64           `json:"shared_len"`
+	PoolAllocs       uint64           `json:"pool_allocs"`
+	PoolFrees        uint64           `json:"pool_frees"`
+	PoolFailedAllocs uint64           `json:"pool_failed_allocs"`
+	PoolFreeBytes    uint64           `json:"pool_free_bytes"`
+	Rounds           uint64           `json:"rounds"`
+	Shootdowns       stats.Shootdowns `json:"shootdowns"`
+}
+
+// fingerprint hashes the canonical projection.
+func (r *Result) fingerprint() string {
+	sd := r.Shootdowns
+	sd.IPIsDelivered, sd.IPICycles = 0, 0
+	c := canonical{
+		Org: r.Org, Processes: r.Processes, Procs: r.Procs,
+		Walks: r.Walks, WalkCycles: r.WalkCycles, TLBHits: r.TLBHits,
+		SharedLookups: r.SharedLookups, SharedLen: r.SharedLen,
+		PoolAllocs: r.PoolAllocs, PoolFrees: r.PoolFrees,
+		PoolFailedAllocs: r.PoolFailedAllocs, PoolFreeBytes: r.PoolFreeBytes,
+		Rounds: r.Rounds, Shootdowns: sd,
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic("tenant: canonical result not marshalable: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// tenantCacheConfig is the per-process data-cache slice: a CAT-style
+// partition of the Table III hierarchy (smaller shares of L2/L3), so
+// hundreds of tenants fit in simulator memory while cache behaviour stays
+// per-address-space — and therefore core-count invariant.
+func tenantCacheConfig() cache.HierarchyConfig {
+	return cache.HierarchyConfig{
+		L1:          cache.Config{SizeBytes: 32 * addr.KB, Ways: 8, LineBytes: 64, Latency: 2},
+		L2:          cache.Config{SizeBytes: 128 * addr.KB, Ways: 8, LineBytes: 64, Latency: 16},
+		L3:          cache.Config{SizeBytes: 512 * addr.KB, Ways: 16, LineBytes: 64, Latency: 56},
+		DRAMLatency: 200,
+	}
+}
+
+// process is one simulated tenant.
+type process struct {
+	id    int
+	spec  workload.Spec
+	table osmodel.PageTable
+	hpt   mmu.HPTPageTable  // non-nil for ECPT/ME-HPT
+	rpt   *radix.PageTable  // non-nil for Radix
+	os    *osmodel.OS
+	cache *cache.Hierarchy
+	trace *workload.Trace
+	rng   *rand.Rand // shared-overlay draws, private to this tenant
+	left  uint64
+
+	res ProcResult
+}
+
+func (p *process) fail(err error) {
+	p.res.Failed = true
+	p.res.Failure = err.Error()
+	p.res.FailureErr = err
+	p.left = 0
+}
+
+// shard is one core's MMU: the per-core translation structures every
+// quantum rebinds to the incoming process.
+type shard struct {
+	hpt *mmu.HPT
+	rdx *mmu.Radix
+}
+
+func (s *shard) bind(p *process) {
+	if s.hpt != nil {
+		s.hpt.Mem = p.cache
+		s.hpt.Bind(p.hpt)
+		return
+	}
+	s.rdx.Mem = p.cache
+	s.rdx.Bind(p.rpt)
+}
+
+func (s *shard) mmu() mmu.MMU {
+	if s.hpt != nil {
+		return s.hpt
+	}
+	return s.rdx
+}
+
+// tlbs returns the shard's TLB hierarchy (both MMU variants expose one);
+// the shared-segment path probes it directly.
+func (s *shard) tlbs() *tlb.Hierarchy {
+	if s.hpt != nil {
+		return s.hpt.TLB
+	}
+	return s.rdx.TLB
+}
+
+// sharedRegion is the machine-wide read-mostly segment: a concurrent
+// elastic cuckoo table mapping shared VPNs to pool frames.
+type sharedRegion struct {
+	table *cuckoo.ConcurrentTable
+	view  phys.Source
+	pages uint64
+	rng   *rand.Rand // remap picks, owned by the shared-region manager
+}
+
+func (s *sharedRegion) vpn(page uint64) uint64 {
+	return uint64(SharedBaseVA.PageNumber(addr.Page4K)) + page
+}
+
+// Run executes one multi-tenant machine to completion and returns its
+// result. It never panics on memory pressure: a tenant whose fault cannot
+// be serviced is marked failed and descheduled while the machine carries
+// the remaining tenants to completion (tenant isolation).
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+
+	pool := phys.NewStriped(cfg.MemBytes, cfg.Stripes, cfg.FMFI)
+
+	specs := workload.Specs(cfg.Scale)
+	procs := make([]*process, cfg.Processes)
+	schedProcs := make([]*osmodel.Proc, cfg.Processes)
+	for pid := range procs {
+		p, err := newProcess(cfg, pid, specs[pid%len(specs)], pool)
+		if err != nil {
+			return nil, err
+		}
+		procs[pid] = p
+		schedProcs[pid] = &osmodel.Proc{ID: pid, PT: p.table}
+	}
+
+	shared, err := newShared(cfg, pool)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fault injection arms only after boot: construction-time allocations
+	// (initial ways, the shared premap) are machine setup, not tenant
+	// activity, and injecting there would fail the whole machine rather
+	// than exercise tenant isolation.
+	if cfg.Inject != "" {
+		policy, perr := inject.Parse(cfg.Inject, runner.DeriveSubSeed(cfg.Seed, "inject", 0))
+		if perr != nil {
+			return nil, fmt.Errorf("tenant: %w", perr)
+		}
+		inject.AttachStriped(pool, policy)
+	}
+
+	shards := make([]*shard, cfg.Cores)
+	for c := range shards {
+		if cfg.Org == sim.Radix {
+			shards[c] = &shard{rdx: mmu.NewRadix(nil, nil)}
+		} else {
+			shards[c] = &shard{hpt: mmu.NewHPT(nil, nil)}
+		}
+	}
+
+	sched := osmodel.NewMultiCore(osmodel.DefaultSwitchCosts(), cfg.Cores,
+		runner.DeriveSubSeed(cfg.Seed, "sched", 0), schedProcs...)
+
+	var sd stats.Shootdowns
+	live := cfg.Processes
+	for live > 0 {
+		for _, pid := range sched.NextRound() {
+			p := procs[pid]
+			if p.left == 0 {
+				continue
+			}
+			coreIdx, _, _ := sched.Visit(pid)
+			sh := shards[coreIdx]
+			// Canonical cold start: rebind and flush unconditionally, so
+			// quantum state never depends on what this core ran before.
+			sh.bind(p)
+			runQuantum(cfg, p, sh, shared)
+			if p.left == 0 {
+				live--
+			}
+		}
+		remapRound(cfg, shared, procs, shards, sched, &sd)
+	}
+
+	return collect(cfg, procs, shards, shared, pool, sched, sd), nil
+}
+
+// newProcess builds one tenant: its page table over a pool view, OS layer,
+// private cache slice, trace, and overlay generator.
+func newProcess(cfg Config, pid int, spec workload.Spec, pool *phys.Striped) (*process, error) {
+	procSeed := runner.DeriveSubSeed(cfg.Seed, "proc", uint64(pid))
+	view := pool.View(uint64(pid))
+	p := &process{
+		id:    pid,
+		spec:  spec,
+		cache: cache.NewHierarchy(tenantCacheConfig()),
+		trace: spec.NewTrace(runner.DeriveSubSeed(procSeed, "trace", 0), cfg.AccessesPerProc),
+		rng:   rand.New(rand.NewSource(runner.DeriveSubSeed(procSeed, "overlay", 0))),
+		left:  cfg.AccessesPerProc,
+	}
+	p.res = ProcResult{PID: pid, Workload: spec.Name}
+	hashSeed := uint64(procSeed)*2654435761 + 12345
+	switch cfg.Org {
+	case sim.MEHPT:
+		tc := mehpt.DefaultConfig(hashSeed)
+		tc.Rand = rand.New(rand.NewSource(runner.DeriveSubSeed(procSeed, "table", 0)))
+		pt, err := mehpt.NewPageTable(view, tc)
+		if err != nil {
+			return nil, fmt.Errorf("tenant: proc %d: %w", pid, err)
+		}
+		p.table, p.hpt = pt, pt
+	case sim.ECPT:
+		tc := ecpt.DefaultConfig(hashSeed)
+		tc.Rand = rand.New(rand.NewSource(runner.DeriveSubSeed(procSeed, "table", 0)))
+		pt, err := ecpt.NewPageTable(view, tc)
+		if err != nil {
+			return nil, fmt.Errorf("tenant: proc %d: %w", pid, err)
+		}
+		p.table, p.hpt = pt, pt
+	case sim.Radix:
+		pt, err := radix.NewPageTable(view)
+		if err != nil {
+			return nil, fmt.Errorf("tenant: proc %d: %w", pid, err)
+		}
+		p.table, p.rpt = pt, pt
+	default:
+		return nil, fmt.Errorf("tenant: unknown organization %v", cfg.Org)
+	}
+	osCfg := osmodel.DefaultConfig()
+	p.os = osmodel.New(osCfg, p.table, view)
+	return p, nil
+}
+
+// newShared builds and premaps the shared segment. Premapping drives the
+// concurrent table through its growth path (serialized resizes) before the
+// first round.
+func newShared(cfg Config, pool *phys.Striped) (*sharedRegion, error) {
+	sharedSeed := runner.DeriveSubSeed(cfg.Seed, "shared", 0)
+	s := &sharedRegion{
+		table: cuckoo.NewConcurrent(cuckoo.Config{
+			Ways:           3,
+			InitialEntries: 64,
+			MaxKicks:       32,
+			HashSeed:       uint64(sharedSeed)*2654435761 + 12345,
+			Rand:           rand.New(rand.NewSource(runner.DeriveSubSeed(sharedSeed, "table", 0))),
+		}),
+		view:  pool.View(^uint64(0)),
+		pages: cfg.SharedPages,
+		rng:   rand.New(rand.NewSource(runner.DeriveSubSeed(sharedSeed, "remap", 0))),
+	}
+	for page := uint64(0); page < s.pages; page++ {
+		ppn, _, err := s.view.Alloc(4 * addr.KB)
+		if err != nil {
+			return nil, fmt.Errorf("tenant: premapping shared page %d: %w", page, err)
+		}
+		if _, err := s.table.Insert(s.vpn(page), uint64(ppn)); err != nil {
+			return nil, fmt.Errorf("tenant: shared table insert: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// runQuantum executes up to cfg.Quantum accesses of p on shard sh.
+func runQuantum(cfg Config, p *process, sh *shard, shared *sharedRegion) {
+	n := cfg.Quantum
+	if n > p.left {
+		n = p.left
+	}
+	for i := uint64(0); i < n; i++ {
+		if p.rng.Float64() < cfg.SharedFraction {
+			sharedAccess(p, sh, shared)
+			p.res.SharedAccesses++
+		} else if !privateAccess(p, sh) {
+			return // tenant failed mid-quantum
+		}
+		p.res.Accesses++
+		p.left--
+	}
+}
+
+// privateAccess replays one trace access through the shard MMU, faulting
+// on demand. It returns false when the tenant fails.
+func privateAccess(p *process, sh *shard) bool {
+	va, ok := p.trace.Next()
+	if !ok {
+		// The trace is sized to the access budget; exhaustion here means
+		// the budget accounting drifted, which would silently shorten runs.
+		panic("tenant: trace exhausted before access budget")
+	}
+	m := sh.mmu()
+	r := m.Translate(va)
+	p.res.XlatCycles += r.Cycles
+	if r.Fault {
+		c, err := p.os.HandleFault(va)
+		p.res.OSCycles += c
+		if err != nil {
+			p.fail(err)
+			return false
+		}
+		r = m.Translate(va)
+		p.res.XlatCycles += r.Cycles
+	}
+	p.res.DataCycles += p.cache.Access(r.PA) / sim.DataMLP
+	return true
+}
+
+// sharedAccess touches one page of the shared segment: a TLB probe on the
+// shard, a concurrent-table lookup for the frame, and on a TLB miss the
+// hashed-walk cost of one shared page-table probe.
+func sharedAccess(p *process, sh *shard, shared *sharedRegion) {
+	page := uint64(p.rng.Int63()) % shared.pages
+	va := SharedBaseVA + addr.VirtAddr(page*4*addr.KB)
+	tlbs := sh.tlbs()
+	res, lat := tlbs.Lookup(va, addr.Page4K)
+	p.res.XlatCycles += lat
+	ppnVal, ok := shared.table.Lookup(shared.vpn(page))
+	if !ok {
+		panic("tenant: shared page lost its mapping")
+	}
+	if res == tlb.MissAll {
+		// Hashed walk for the shared segment: hash latency plus one
+		// page-table line access (always-DRAM, like other PT lines).
+		walk := uint64(hashfn.Latency)
+		walk += p.cache.AccessPT(sharedPTBase + addr.PhysAddr(shared.vpn(page)*8))
+		p.res.XlatCycles += walk
+		tlbs.Insert(va, addr.Page4K)
+	}
+	pa := addr.Translate(va, addr.PPN(ppnVal), addr.Page4K)
+	p.res.DataCycles += p.cache.Access(pa) / sim.DataMLP
+}
+
+// remapRound performs the end-of-round shared-page remaps, each one a TLB
+// shootdown: a new frame is published through the concurrent table (an
+// upsert, racing only with readers by design), the old frame is freed, and
+// every other live address space is notified. IPI delivery is core-view:
+// one interrupt per core with a resident address space.
+func remapRound(cfg Config, shared *sharedRegion, procs []*process,
+	shards []*shard, sched *osmodel.MultiCore, sd *stats.Shootdowns) {
+	liveSharers := 0
+	for _, p := range procs {
+		if !p.res.Failed {
+			liveSharers++
+		}
+	}
+	for k := 0; k < cfg.RemapsPerRound; k++ {
+		page := uint64(shared.rng.Int63()) % shared.pages
+		old, ok := shared.table.Lookup(shared.vpn(page))
+		if !ok {
+			panic("tenant: remapping unmapped shared page")
+		}
+		ppn, _, err := shared.view.Alloc(4 * addr.KB)
+		if err != nil {
+			// Pool pressure (genuine or injected): defer the remap. The old
+			// mapping stays valid — degradation, not corruption.
+			continue
+		}
+		if _, err := shared.table.Insert(shared.vpn(page), uint64(ppn)); err != nil {
+			// Upsert of an existing key cannot allocate, so it cannot fail;
+			// roll the new frame back if it somehow does.
+			shared.view.Free(ppn, 4*addr.KB)
+			continue
+		}
+		shared.view.Free(addr.PPN(old), 4*addr.KB)
+		sd.Events++
+		if liveSharers > 0 {
+			sd.SharersNotified += uint64(liveSharers - 1)
+		}
+		va := SharedBaseVA + addr.VirtAddr(page*4*addr.KB)
+		resident := uint64(0)
+		for c := 0; c < sched.Cores(); c++ {
+			if sched.Incumbent(c) >= 0 {
+				resident++
+			}
+		}
+		sd.IPIsDelivered += resident
+		sd.IPICycles += resident * ipiCycles
+		// Shard-level TLB invalidation of va on every core: quanta start
+		// cold (canonical cold start), so this is model hygiene with no
+		// canonical effect, but it keeps the shards honest for anyone
+		// inspecting them between rounds.
+		for _, sh := range shards {
+			sh.mmu().Invalidate(va, addr.Page4K)
+		}
+	}
+}
+
+// collect assembles the Result and computes its fingerprint.
+func collect(cfg Config, procs []*process, shards []*shard,
+	shared *sharedRegion, pool *phys.Striped, sched *osmodel.MultiCore,
+	sd stats.Shootdowns) *Result {
+	r := &Result{
+		Org:       cfg.Org.String(),
+		Processes: cfg.Processes,
+		Cores:     cfg.Cores,
+		Rounds:    sched.Rounds(),
+	}
+	for _, p := range procs {
+		p.res.Faults = p.os.Stats().Faults
+		r.Procs = append(r.Procs, p.res)
+	}
+	for _, sh := range shards {
+		st := sh.mmu().Stats()
+		r.Walks += st.Walks
+		r.WalkCycles += st.WalkCycles
+		r.TLBHits += st.L1Hits + st.L2Hits
+	}
+	cs := shared.table.Stats()
+	r.SharedLookups = cs.Lookups
+	r.SharedLen = shared.table.Len()
+	ps := pool.StatsSum()
+	r.PoolAllocs = ps.Allocs
+	r.PoolFrees = ps.Frees
+	r.PoolFailedAllocs = ps.FailedAllocs
+	r.PoolFreeBytes = pool.FreeBytes()
+	r.Shootdowns = sd
+	ss := sched.Stats()
+	r.Switches = ss.Switches
+	r.SwitchCycles = ss.SwitchCycles
+	r.Fingerprint = r.fingerprint()
+	return r
+}
+

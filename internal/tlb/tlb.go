@@ -185,6 +185,17 @@ func (h *Hierarchy) Invalidate(va addr.VirtAddr, s addr.PageSize) {
 	h.l2[s].Invalidate(vpn)
 }
 
+// Flush empties every TLB in the hierarchy, all levels and page sizes — a
+// full context-switch flush in the no-ASID model. Like TLB.Flush it clears
+// in place, so per-quantum flushing in the multi-tenant scheduler does not
+// churn the GC.
+func (h *Hierarchy) Flush() {
+	for s := range h.l1 {
+		h.l1[s].Flush()
+		h.l2[s].Flush()
+	}
+}
+
 // L1 and L2 expose the underlying structures for stats inspection.
 func (h *Hierarchy) L1(s addr.PageSize) *TLB { return h.l1[s] }
 

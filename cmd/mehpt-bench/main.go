@@ -80,7 +80,7 @@ func cmdParse(args []string) {
 	fs := flag.NewFlagSet("parse", flag.ExitOnError)
 	in := fs.String("in", "-", "benchmark text output to parse ('-' = stdin)")
 	out := fs.String("out", "", "JSON file to write (default stdout)")
-	fs.Parse(args)
+	fs.Parse(args) //mehpt:allow errwrap -- ExitOnError flagset exits on bad flags
 
 	var r io.Reader = os.Stdin
 	if *in != "-" {
@@ -202,7 +202,7 @@ func cmdCompare(args []string) {
 	byteTol := fs.Float64("byte-tolerance", 0.10, "allowed B/op regression (fraction)")
 	skipTime := fs.Bool("skip-time", false, "gate only allocs/op and B/op (for cross-machine comparisons)")
 	minTime := fs.Float64("min-time-ns", 100_000, "skip the ns/op gate when both sides run faster than this (sub-threshold timings at -benchtime 1x are timer noise)")
-	fs.Parse(args)
+	fs.Parse(args) //mehpt:allow errwrap -- ExitOnError flagset exits on bad flags
 	if *newPath == "" {
 		fatalf("compare: -new is required")
 	}

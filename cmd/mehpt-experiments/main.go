@@ -85,7 +85,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mehpt-experiments: -cpuprofile: %v\n", err)
 			os.Exit(2)
 		}
-		atExit = append(atExit, func() { pprof.StopCPUProfile(); f.Close() })
+		atExit = append(atExit, func() { pprof.StopCPUProfile(); f.Close() }) //mehpt:allow errwrap -- close at exit; profile loss is visible to the operator
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -97,7 +97,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mehpt-experiments: -trace: %v\n", err)
 			os.Exit(2)
 		}
-		atExit = append(atExit, func() { trace.Stop(); f.Close() })
+		atExit = append(atExit, func() { trace.Stop(); f.Close() }) //mehpt:allow errwrap -- close at exit; trace loss is visible to the operator
 	}
 	if *memProfile != "" {
 		path := *memProfile
@@ -326,7 +326,7 @@ func main() {
 				fmt.Printf("wrote JSON results to %s\n", *jsonOut)
 			}
 		} else {
-			f.Close()
+			f.Close() //mehpt:allow errwrap -- already failing; the write error below is the one reported
 			fmt.Fprintf(os.Stderr, "mehpt-experiments: writing %s: %v\n", *jsonOut, err)
 			exitf(1)
 		}

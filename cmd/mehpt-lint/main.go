@@ -5,14 +5,22 @@
 //
 //	go run ./cmd/mehpt-lint ./...
 //
-// Findings print as file:line:col: message (analyzer) and make the
-// process exit 1. Waive a legitimate finding with a directive on or
-// directly above the flagged line:
+// Findings print as file:line:col: message and make the process exit 1;
+// -json switches the report to a machine-readable array on stdout for
+// editor and CI integrations. Exit codes are part of the interface:
+//
+//	0  no findings
+//	1  findings reported
+//	2  usage error or package load failure
+//
+// Waive a legitimate finding with a directive on or directly above the
+// flagged line:
 //
 //	//mehpt:allow <analyzer>[,<analyzer>] -- <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,9 +34,10 @@ import (
 func main() {
 	listFlag := flag.Bool("list", false, "list the analyzers and exit")
 	onlyFlag := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	jsonFlag := flag.Bool("json", false, "report findings as a JSON array on stdout")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: mehpt-lint [-list] [-analyzers a,b] [packages]\n\n"+
+			"usage: mehpt-lint [-list] [-json] [-analyzers a,b] [packages]\n\n"+
 				"Runs the ME-HPT determinism/unit-safety analyzers over the given\n"+
 				"package patterns (default ./...).\n\n")
 		flag.PrintDefaults()
@@ -72,7 +81,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mehpt-lint: %v\n", err)
 		os.Exit(2)
 	}
-	cwd, _ := os.Getwd()
+	cwd, _ := os.Getwd() //mehpt:allow errwrap -- empty cwd falls back to absolute paths
+	type finding struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	findings := make([]finding, 0, len(diags))
 	for _, d := range diags {
 		pos := loader.Fset.Position(d.Pos)
 		name := pos.Filename
@@ -81,12 +98,24 @@ func main() {
 				name = rel
 			}
 		}
-		// Analyzer messages already name their rule; keep the line format
-		// one-diagnostic-per-line for editors and CI annotations.
-		fmt.Printf("%s:%d:%d: %s\n", name, pos.Line, pos.Column, d.Message)
+		findings = append(findings, finding{d.Analyzer, name, pos.Line, pos.Column, d.Message})
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "mehpt-lint: %d finding(s)\n", len(diags))
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "mehpt-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			// Analyzer messages already name their rule; keep the line format
+			// one-diagnostic-per-line for editors and CI annotations.
+			fmt.Printf("%s:%d:%d: %s\n", f.File, f.Line, f.Col, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "mehpt-lint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }

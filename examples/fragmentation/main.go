@@ -4,6 +4,8 @@
 // ME-HPT keeps running on small chunks.
 package main
 
+//mehpt:allow:file errwrap -- example binary: output is illustrative, error plumbing is elided for brevity
+
 import (
 	"fmt"
 	"math/rand"

@@ -4,6 +4,8 @@
 // memory-contiguity requirements side by side — a miniature Figure 8+9.
 package main
 
+//mehpt:allow:file errwrap -- example binary: output is illustrative, error plumbing is elided for brevity
+
 import (
 	"flag"
 	"fmt"

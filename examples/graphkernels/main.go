@@ -6,6 +6,8 @@
 // algorithm executing on a real graph.
 package main
 
+//mehpt:allow:file errwrap -- example binary: output is illustrative, error plumbing is elided for brevity
+
 import (
 	"flag"
 	"fmt"

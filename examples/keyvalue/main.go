@@ -6,6 +6,8 @@
 // actually moved.
 package main
 
+//mehpt:allow:file errwrap -- example binary: output is illustrative, error plumbing is elided for brevity
+
 import (
 	"fmt"
 	"hash/fnv"

@@ -3,6 +3,8 @@
 // never needing more than one chunk of contiguous physical memory.
 package main
 
+//mehpt:allow:file errwrap -- example binary: output is illustrative, error plumbing is elided for brevity
+
 import (
 	"fmt"
 

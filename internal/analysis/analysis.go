@@ -38,6 +38,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts answers cross-package questions (function summaries, hot-path
+	// annotations, transitive reachability) for type-aware analyzers.
+	Facts *Facts
+	// Ann is the annotation table of the package under analysis.
+	Ann *Annotations
 
 	diags *[]Diagnostic
 }
@@ -63,6 +68,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // malformed directives. Diagnostics come back sorted by position.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	allows, diags := CollectAllows(pkg.Fset, pkg.Files)
+	ann := CollectAnnotations(pkg)
+	diags = append(diags, ann.Malformed...)
+	facts := &Facts{loader: pkg.loader}
 	for _, a := range analyzers {
 		var raw []Diagnostic
 		pass := &Pass{
@@ -71,13 +79,16 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     facts,
+			Ann:       ann,
 			diags:     &raw,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 		for _, d := range raw {
-			if !allows.Allows(pkg.Fset, d.Pos, a.Name) {
+			stmtLine := StmtStartLine(pkg.Fset, pkg.Files, d.Pos)
+			if !allows.Allows(pkg.Fset, d.Pos, stmtLine, a.Name) {
 				diags = append(diags, d)
 			}
 		}

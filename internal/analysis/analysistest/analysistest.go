@@ -18,16 +18,25 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"testing"
 
 	"repro/internal/analysis"
 )
 
 const wantMarker = "// want "
 
+// TB is the slice of testing.TB the harness needs. It exists so the
+// harness itself can be meta-tested: the tests in this package drive Run
+// with a recording TB and assert that unexpected and missing diagnostics
+// are both reported.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
 // Run loads each golden package, applies the analyzer (including the
 // //mehpt:allow suppression pass), and reports mismatches on t.
-func Run(t *testing.T, a *analysis.Analyzer, testdata string, pkgPaths ...string) {
+func Run(t TB, a *analysis.Analyzer, testdata string, pkgPaths ...string) {
 	t.Helper()
 	loader := analysis.NewLoader(analysis.TestdataResolver(testdata + "/src"))
 	for _, path := range pkgPaths {
@@ -72,11 +81,11 @@ func collectExpectations(pkg *analysis.Package) ([]*expectation, error) {
 					}
 					pat, err := strconv.Unquote(q)
 					if err != nil {
-						return nil, fmt.Errorf("%s: %v", pos, err)
+						return nil, fmt.Errorf("%s: %w", pos, err)
 					}
 					re, err := regexp.Compile(pat)
 					if err != nil {
-						return nil, fmt.Errorf("%s: %v", pos, err)
+						return nil, fmt.Errorf("%s: %w", pos, err)
 					}
 					expects = append(expects, &expectation{pos.Filename, pos.Line, re})
 					rest = strings.TrimSpace(rest[len(q):])
@@ -87,7 +96,7 @@ func collectExpectations(pkg *analysis.Package) ([]*expectation, error) {
 	return expects, nil
 }
 
-func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic, expects []*expectation) {
+func check(t TB, pkg *analysis.Package, diags []analysis.Diagnostic, expects []*expectation) {
 	t.Helper()
 	matched := make([]bool, len(expects))
 	for _, d := range diags {
@@ -112,7 +121,7 @@ func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic, exp
 	}
 	sort.Strings(missing)
 	for _, m := range missing {
-		t.Error(m)
+		t.Errorf("%s", m)
 	}
 }
 

@@ -1,0 +1,80 @@
+package analysistest_test
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// recordingTB captures harness output so the harness itself can be
+// tested: a golden package that disagrees with its analyzer must produce
+// errors for BOTH directions of the mismatch (a diagnostic nobody
+// expected, and an expectation nobody satisfied).
+type recordingTB struct {
+	errors []string
+	fatals []string
+}
+
+func (r *recordingTB) Helper() {}
+func (r *recordingTB) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+func (r *recordingTB) Fatalf(format string, args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprintf(format, args...))
+}
+
+// bannedAnalyzer flags every call to a function literally named "banned".
+// It is the minimal analyzer the meta-test needs: syntax-only, one
+// deterministic message.
+var bannedAnalyzer = &analysis.Analyzer{
+	Name: "banned",
+	Doc:  "meta-test analyzer: flags calls to banned()",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "banned" {
+					pass.Reportf(call.Pos(), "call to banned")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestHarnessReportsBothMismatchDirections(t *testing.T) {
+	rec := &recordingTB{}
+	analysistest.Run(rec, bannedAnalyzer, "testdata", "repro/internal/metatest")
+	if len(rec.fatals) > 0 {
+		t.Fatalf("harness aborted: %v", rec.fatals)
+	}
+	if len(rec.errors) != 2 {
+		t.Fatalf("got %d harness errors, want 2 (one unexpected, one missing):\n%s",
+			len(rec.errors), strings.Join(rec.errors, "\n"))
+	}
+	var unexpected, missing bool
+	for _, e := range rec.errors {
+		if strings.Contains(e, "unexpected diagnostic") && strings.Contains(e, "call to banned") {
+			unexpected = true
+		}
+		if strings.Contains(e, "no diagnostic matching") && strings.Contains(e, "never emitted") {
+			missing = true
+		}
+	}
+	if !unexpected {
+		t.Errorf("harness did not report the unexpected diagnostic:\n%s", strings.Join(rec.errors, "\n"))
+	}
+	if !missing {
+		t.Errorf("harness did not report the unmatched want clause:\n%s", strings.Join(rec.errors, "\n"))
+	}
+	// The matched pair must not surface in either direction: with exactly
+	// two errors and both directions accounted for, it did not.
+}

@@ -1,0 +1,19 @@
+// Package metatest is a deliberately mismatched golden package for the
+// harness meta-test: one diagnostic with no want clause, one want clause
+// with no diagnostic, and one correct pair. The meta-test drives Run with
+// a recording TB and asserts both failure modes are reported.
+package metatest
+
+func banned() {}
+
+func unexpected() {
+	banned() // no want clause: the harness must flag this diagnostic
+}
+
+func matched() {
+	banned() // want `call to banned`
+}
+
+func missing() int {
+	return 1 // want `never emitted`
+}

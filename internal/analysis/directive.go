@@ -9,16 +9,28 @@ import (
 // The suppression directive grammar is
 //
 //	//mehpt:allow <analyzer>[,<analyzer>...] -- <reason>
+//	//mehpt:allow:file <analyzer>[,<analyzer>...] -- <reason>
+//	//mehpt:allow:package <analyzer>[,<analyzer>...] -- <reason>
 //
-// written either on the flagged line itself (trailing comment) or on the
-// line immediately above it. The reason is mandatory: an allow without a
-// recorded justification is itself a diagnostic. The analyzer list names
-// the rules being waived (e.g. "detrand" for the -progress wall-clock
-// timer in internal/experiments).
+// The unscoped (line-scope) form is written either on the flagged line
+// itself (trailing comment), on the line immediately above it, or on the
+// line above the statement the flagged expression belongs to — a directive
+// above a multi-line call suppresses findings on the call's continuation
+// lines too. The :file form, placed anywhere in a file, waives the named
+// analyzers for that whole file; the :package form waives them for every
+// file of the package. The reason is mandatory at every scope: an allow
+// without a recorded justification is itself a diagnostic. The analyzer
+// list names the rules being waived (e.g. "detrand" for the -progress
+// wall-clock timer in internal/experiments).
 const directivePrefix = "//mehpt:allow"
 
-// AllowSet records, per file line, which analyzers have been waived.
-type AllowSet map[allowKey]bool
+// AllowSet records which analyzers have been waived, per line, per file,
+// and package-wide.
+type AllowSet struct {
+	line map[allowKey]bool
+	file map[fileKey]bool
+	pkg  map[string]bool
+}
 
 type allowKey struct {
 	file     string
@@ -26,11 +38,21 @@ type allowKey struct {
 	analyzer string
 }
 
+type fileKey struct {
+	file     string
+	analyzer string
+}
+
 // CollectAllows scans the files' comments for //mehpt:allow directives.
-// Malformed directives (no analyzer list, or a missing "-- reason") are
-// returned as diagnostics under the pseudo-analyzer name "directive".
-func CollectAllows(fset *token.FileSet, files []*ast.File) (AllowSet, []Diagnostic) {
-	allows := AllowSet{}
+// Malformed directives (an unknown scope suffix, no analyzer list, or a
+// missing "-- reason") are returned as diagnostics under the
+// pseudo-analyzer name "directive".
+func CollectAllows(fset *token.FileSet, files []*ast.File) (*AllowSet, []Diagnostic) {
+	allows := &AllowSet{
+		line: map[allowKey]bool{},
+		file: map[fileKey]bool{},
+		pkg:  map[string]bool{},
+	}
 	var diags []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -39,24 +61,49 @@ func CollectAllows(fset *token.FileSet, files []*ast.File) (AllowSet, []Diagnost
 					continue
 				}
 				rest := c.Text[len(directivePrefix):]
+				scope := "line"
+				if s, r, ok := cutScope(rest); ok {
+					scope, rest = s, r
+				}
 				names, reason, ok := splitDirective(rest)
-				if !ok {
+				if scope == "" || !ok {
 					diags = append(diags, Diagnostic{
 						Pos:      c.Pos(),
 						Analyzer: "directive",
-						Message:  `malformed //mehpt:allow directive: want "//mehpt:allow <analyzer>[,<analyzer>] -- <reason>"`,
+						Message:  `malformed //mehpt:allow directive: want "//mehpt:allow[:file|:package] <analyzer>[,<analyzer>] -- <reason>"`,
 					})
 					continue
 				}
 				_ = reason // the reason is for humans; presence is all we check
 				pos := fset.Position(c.Pos())
 				for _, n := range names {
-					allows[allowKey{pos.Filename, pos.Line, n}] = true
+					switch scope {
+					case "line":
+						allows.line[allowKey{pos.Filename, pos.Line, n}] = true
+					case "file":
+						allows.file[fileKey{pos.Filename, n}] = true
+					case "package":
+						allows.pkg[n] = true
+					}
 				}
 			}
 		}
 	}
 	return allows, diags
+}
+
+// cutScope strips a ":file" / ":package" scope suffix off the directive
+// head. An unknown scope comes back as "" so the caller reports it.
+func cutScope(rest string) (scope, tail string, ok bool) {
+	if !strings.HasPrefix(rest, ":") {
+		return "", rest, false
+	}
+	head, tail, _ := strings.Cut(rest[1:], " ")
+	switch head {
+	case "file", "package":
+		return head, " " + tail, true
+	}
+	return "", rest, true
 }
 
 // splitDirective parses ` detrand,maporder -- reason` into its parts.
@@ -82,10 +129,51 @@ func splitDirective(rest string) (names []string, reason string, ok bool) {
 	return names, reason, true
 }
 
-// Allows reports whether a diagnostic by analyzer at pos is waived: a
-// directive for that analyzer sits on the same line or the line above.
-func (a AllowSet) Allows(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+// Allows reports whether a diagnostic by analyzer at pos is waived: the
+// package or file carries a scoped directive, or a line directive sits on
+// the same line or the line above. stmtLine, when nonzero, is the starting
+// line of the statement enclosing pos; a directive on or above that line
+// also matches, so findings on the continuation lines of a multi-line
+// statement honour a directive written above the statement.
+func (a *AllowSet) Allows(fset *token.FileSet, pos token.Pos, stmtLine int, analyzer string) bool {
+	if a.pkg[analyzer] {
+		return true
+	}
 	p := fset.Position(pos)
-	return a[allowKey{p.Filename, p.Line, analyzer}] ||
-		a[allowKey{p.Filename, p.Line - 1, analyzer}]
+	if a.file[fileKey{p.Filename, analyzer}] {
+		return true
+	}
+	if a.line[allowKey{p.Filename, p.Line, analyzer}] ||
+		a.line[allowKey{p.Filename, p.Line - 1, analyzer}] {
+		return true
+	}
+	if stmtLine != 0 && stmtLine != p.Line {
+		return a.line[allowKey{p.Filename, stmtLine, analyzer}] ||
+			a.line[allowKey{p.Filename, stmtLine - 1, analyzer}]
+	}
+	return false
+}
+
+// StmtStartLine returns the starting line of the innermost statement in
+// files that encloses pos, or 0 if pos is not inside any statement. It is
+// the hook that lets line-scope allow directives cover multi-line
+// statements.
+func StmtStartLine(fset *token.FileSet, files []*ast.File, pos token.Pos) int {
+	for _, f := range files {
+		if pos < f.Pos() || pos >= f.End() {
+			continue
+		}
+		line := 0
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || pos < n.Pos() || pos >= n.End() {
+				return n == nil
+			}
+			if _, ok := n.(ast.Stmt); ok {
+				line = fset.Position(n.Pos()).Line
+			}
+			return true
+		})
+		return line
+	}
+	return 0
 }

@@ -53,7 +53,7 @@ func ExpandPatterns(mod Module, patterns []string) ([]string, error) {
 	cmd.Stdout = &out
 	cmd.Stderr = &errb
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, errb.String())
 	}
 	var paths []string
 	for _, line := range strings.Split(out.String(), "\n") {

@@ -1,0 +1,159 @@
+// Package errwrap guards the error chains PR 3 built for the allocation
+// and rollback paths (phys.ErrOutOfMemory, mehpt rehash rollback): callers
+// decide policy with errors.Is, which only works if every intermediate
+// layer wraps with %w and nobody silently drops the error. Two rules:
+//
+//  1. No discards. An error result assigned to _ or ignored entirely at a
+//     call statement is flagged. Print-like calls whose error is
+//     conventionally ignored (fmt.Print*/Fprint*, strings.Builder and
+//     bytes.Buffer writes, which cannot fail) are exempt.
+//  2. Wrap with %w. fmt.Errorf given an error-typed argument must use the
+//     %w verb — %v or %s silently severs the chain and breaks errors.Is
+//     at the policy layer.
+//
+// Deliberate exceptions (the rehash budget tick whose error is a
+// scheduling hint, not a failure) are waived with //mehpt:allow errwrap
+// and a recorded reason.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces error-chain hygiene: no discarded errors, %w wrapping.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "error results must be handled or explicitly waived, and " +
+		"fmt.Errorf with an error argument must wrap it with %w",
+	Run: run,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkDiscard(pass, n)
+			case *ast.ExprStmt:
+				checkIgnored(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscard flags error values assigned to the blank identifier.
+func checkDiscard(pass *analysis.Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var t types.Type
+		switch {
+		case len(as.Rhs) == len(as.Lhs):
+			t = pass.TypesInfo.TypeOf(as.Rhs[i])
+		case len(as.Rhs) == 1:
+			if tup, ok := pass.TypesInfo.TypeOf(as.Rhs[0]).(*types.Tuple); ok && i < tup.Len() {
+				t = tup.At(i).Type()
+			}
+		}
+		if isError(t) {
+			pass.Reportf(id.Pos(),
+				"error result discarded (assigned to _); handle it, return it wrapped, or waive with //mehpt:allow errwrap")
+		}
+	}
+}
+
+// checkIgnored flags call statements that drop an error result on the
+// floor. Deferred calls are not visited here: defer f.Close() and friends
+// are a separate idiom with no good in-line handling story.
+func checkIgnored(pass *analysis.Pass, es *ast.ExprStmt) {
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok || !returnsError(pass.TypesInfo, call) {
+		return
+	}
+	if safeToIgnore(pass.TypesInfo, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"call discards its error result; handle it, return it wrapped, or waive with //mehpt:allow errwrap")
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error argument with a
+// chain-severing verb instead of %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: nothing to prove
+	}
+	if strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isError(pass.TypesInfo.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(),
+				"fmt.Errorf formats an error argument without %%w: the chain breaks and errors.Is stops working; use %%w or waive with //mehpt:allow errwrap")
+			return
+		}
+	}
+}
+
+// safeToIgnore exempts print-like calls and writers that cannot fail.
+func safeToIgnore(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		switch types.TypeString(t, nil) {
+		case "strings.Builder", "bytes.Buffer":
+			return true
+		}
+	}
+	return false
+}
+
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	switch t := info.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isError(t.At(i).Type()) {
+				return true
+			}
+		}
+	default:
+		return isError(t)
+	}
+	return false
+}
+
+func isError(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}

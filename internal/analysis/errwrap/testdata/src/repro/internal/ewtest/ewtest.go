@@ -1,0 +1,66 @@
+// Package ewtest seeds errwrap violations: discarded error results,
+// ignored error-returning calls, and fmt.Errorf chains severed by %v.
+package ewtest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errFull = errors.New("full")
+
+func alloc() (uint64, error) { return 0, errFull }
+
+func doWork() error { return errFull }
+
+func discardTuple() uint64 {
+	v, _ := alloc() // want `error result discarded`
+	return v
+}
+
+func discardAssign() {
+	_ = doWork() // want `error result discarded`
+}
+
+func discardBoth() {
+	_, _ = alloc() // want `error result discarded`
+}
+
+func ignored() {
+	doWork() // want `call discards its error result`
+}
+
+func severed(va uint64) error {
+	if _, err := alloc(); err != nil {
+		return fmt.Errorf("insert va=%x: %v", va, err) // want `without %w`
+	}
+	return nil
+}
+
+func wrapped(va uint64) error {
+	if _, err := alloc(); err != nil {
+		return fmt.Errorf("insert va=%x: %w", va, err)
+	}
+	return nil
+}
+
+// handled propagates without wrapping: fine, the chain is intact.
+func handled() error {
+	if err := doWork(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// printing is conventionally error-ignored.
+func printing(b *strings.Builder) {
+	fmt.Println("ok")
+	b.WriteString("ok")
+}
+
+// waived records why the discard is deliberate.
+func waived() {
+	//mehpt:allow errwrap -- budget tick result is a scheduling hint only
+	_ = doWork()
+}

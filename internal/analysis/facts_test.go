@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// loadFactsPkg loads the factsa fixture and returns the package plus a
+// Facts view over the shared loader cache.
+func loadFactsPkg(t *testing.T) (*Package, *Facts) {
+	t.Helper()
+	loader := NewLoader(TestdataResolver("testdata/src"))
+	pkg, err := loader.Load("repro/internal/factsa")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return pkg, &Facts{loader: loader}
+}
+
+func lookupFunc(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	obj := pkg.Types.Scope().Lookup(name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("%s: not a function (%v)", name, obj)
+	}
+	return fn
+}
+
+// TestCrossPackageFactRoundTrip checks the x/tools-style fact export:
+// analyzing factsa computes summaries for its dependency factsb on
+// demand, reach queries cross the boundary, findings anchor at the local
+// call site, and waivers written in the callee's package are honoured.
+func TestCrossPackageFactRoundTrip(t *testing.T) {
+	pkg, facts := loadFactsPkg(t)
+
+	hot := lookupFunc(t, pkg, "Hot")
+	if !facts.IsHot(hot) {
+		t.Fatalf("Hot is not recognised as //mehpt:hotpath")
+	}
+
+	reach := NewReach(facts, "hotalloc", ReachAlloc)
+	finding := reach.First(hot)
+	if finding == nil {
+		t.Fatalf("Hot -> factsb.Grow: no allocation finding across the package boundary")
+	}
+	// The finding anchors at the call site in factsa, not in factsb.
+	pos := pkg.Fset.Position(finding.Pos)
+	if !strings.Contains(pos.Filename, "factsa") {
+		t.Errorf("finding anchored at %s, want a position inside factsa", pos)
+	}
+	// The chain names both sides of the boundary.
+	chain := strings.Join(finding.Chain, " -> ")
+	if !strings.Contains(chain, "factsa.Hot") || !strings.Contains(chain, "factsb.Grow") {
+		t.Errorf("chain %q does not span the package boundary", chain)
+	}
+	// The offending site itself lives in factsb.
+	sitePos := pkg.Fset.Position(finding.Site.Pos)
+	if !strings.Contains(sitePos.Filename, "factsb") {
+		t.Errorf("site at %s, want a position inside factsb", sitePos)
+	}
+
+	if f := reach.First(lookupFunc(t, pkg, "Clean")); f != nil {
+		t.Errorf("Clean -> factsb.Pure flagged spuriously: %s", f.Desc)
+	}
+	if f := reach.First(lookupFunc(t, pkg, "HotWaived")); f != nil {
+		t.Errorf("waiver in factsb not honoured across the boundary: %s", f.Desc)
+	}
+}
+
+// TestPackageFactsCached checks the round trip through the loader cache:
+// repeated queries return the same computed facts, including for
+// dependency packages pulled in transitively.
+func TestPackageFactsCached(t *testing.T) {
+	_, facts := loadFactsPkg(t)
+
+	a1, err := facts.PackageFacts("repro/internal/factsa")
+	if err != nil {
+		t.Fatalf("PackageFacts(factsa): %v", err)
+	}
+	a2, err := facts.PackageFacts("repro/internal/factsa")
+	if err != nil {
+		t.Fatalf("PackageFacts(factsa) second load: %v", err)
+	}
+	if a1 != a2 {
+		t.Errorf("PackageFacts recomputed instead of returning the cached value")
+	}
+
+	b, err := facts.PackageFacts("repro/internal/factsb")
+	if err != nil {
+		t.Fatalf("PackageFacts(factsb): %v", err)
+	}
+	var grow *FuncSummary
+	for fn, sum := range b.Funcs {
+		if fn.Name() == "Grow" {
+			grow = sum
+		}
+	}
+	if grow == nil {
+		t.Fatalf("factsb.Grow has no summary")
+	}
+	if len(grow.Allocs) == 0 {
+		t.Errorf("factsb.Grow summary records no allocation sites")
+	}
+}

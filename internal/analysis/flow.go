@@ -1,0 +1,369 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// flow.go is the statement-ordered lock-state walker shared by the
+// lockguard and lockorder analyzers. It tracks which mutexes are held at
+// each point of a function body, by the textual spelling of their base
+// expression (e.g. "st.mu"), with divergence pruning: lock mutations made
+// in a branch that cannot fall through (it ends in return, break,
+// continue, or goto) are discarded for the fall-through state, so the
+//
+//	st.mu.Lock()
+//	if full { st.mu.Unlock(); continue }
+//	... // st.mu still held here
+//
+// idiom used by phys.Striped.alloc analyzes correctly. Where branches
+// rejoin, states union-merge (held in any branch counts as held): the
+// walker's job is proving "definitely unguarded", so over-approximating
+// the held set only suppresses findings, never invents them.
+
+// LockKind distinguishes read locks from write locks.
+type LockKind int
+
+// Lock kinds.
+const (
+	LockRead  LockKind = iota + 1 // RLock
+	LockWrite                     // Lock
+)
+
+// LockState maps a lock's rendered base expression to how it is held.
+type LockState map[string]LockKind
+
+func (s LockState) clone() LockState {
+	c := make(LockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// union folds o into s, keeping the stronger kind.
+func (s LockState) union(o LockState) {
+	for k, v := range o {
+		if v > s[k] {
+			s[k] = v
+		}
+	}
+}
+
+// Holds reports whether the named lock is held at all (read or write).
+func (s LockState) Holds(lock string) bool { return s[lock] != 0 }
+
+// HoldsWrite reports whether the named lock is held exclusively.
+func (s LockState) HoldsWrite(lock string) bool { return s[lock] == LockWrite }
+
+// LockOp is a recognized sync.Mutex / sync.RWMutex operation.
+type LockOp struct {
+	Call *ast.CallExpr
+	Base string // rendered receiver, e.g. "st.mu"
+	// BaseExpr is the receiver expression itself, for resolving the mutex
+	// field's annotations.
+	BaseExpr ast.Expr
+	Acquire  bool
+	Kind     LockKind
+}
+
+// WalkLocks walks body in statement order and calls visit for every node,
+// with the lock state current at that node. Lock operations are delivered
+// to visit (op non-nil, with the state *before* the operation applies) and
+// then applied. init seeds the entry state — the hook for //mehpt:locked
+// preconditions. Function-literal bodies are not descended into: a closure
+// runs under its caller's lock context, not its creator's. Deferred calls
+// are visited but their lock operations are not applied (a deferred Unlock
+// releases at return, not where it is written).
+func WalkLocks(info *types.Info, body *ast.BlockStmt, init LockState, visit func(n ast.Node, op *LockOp, held LockState)) {
+	w := &lockWalker{info: info, visit: visit}
+	w.block(body, init.clone())
+}
+
+type lockWalker struct {
+	info  *types.Info
+	visit func(n ast.Node, op *LockOp, held LockState)
+}
+
+// block walks the statements of a block sequentially. It returns the
+// fall-through state and whether the block always terminates abruptly.
+func (w *lockWalker) block(b *ast.BlockStmt, in LockState) (LockState, bool) {
+	for _, s := range b.List {
+		var term bool
+		in, term = w.stmt(s, in)
+		if term {
+			return in, true
+		}
+	}
+	return in, false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, in LockState) (LockState, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.block(s, in)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, in)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			in, _ = w.stmt(s.Init, in)
+		}
+		in = w.exprs(in, s.Cond)
+		out := in.clone()
+		thenOut, thenTerm := w.block(s.Body, in.clone())
+		elseTerm := true // no else: cond-false falls through via out
+		if s.Else != nil {
+			var elseOut LockState
+			elseOut, elseTerm = w.stmt(s.Else, in.clone())
+			if !elseTerm {
+				out = elseOut
+			}
+			if thenTerm && elseTerm {
+				return in, true
+			}
+		}
+		if !thenTerm {
+			if s.Else != nil && elseTerm {
+				out = thenOut
+			} else {
+				out.union(thenOut)
+			}
+		}
+		return out, false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			in, _ = w.stmt(s.Init, in)
+		}
+		if s.Cond != nil {
+			in = w.exprs(in, s.Cond)
+		}
+		bodyOut, bodyTerm := w.block(s.Body, in.clone())
+		if s.Post != nil {
+			bodyOut, _ = w.stmt(s.Post, bodyOut)
+		}
+		out := in.clone()
+		if !bodyTerm {
+			out.union(bodyOut)
+		}
+		return out, false
+	case *ast.RangeStmt:
+		in = w.exprs(in, s.X)
+		bodyOut, bodyTerm := w.block(s.Body, in.clone())
+		out := in.clone()
+		if !bodyTerm {
+			out.union(bodyOut)
+		}
+		return out, false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			in, _ = w.stmt(s.Init, in)
+		}
+		if s.Tag != nil {
+			in = w.exprs(in, s.Tag)
+		}
+		return w.caseBodies(s.Body, in)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			in, _ = w.stmt(s.Init, in)
+		}
+		in, _ = w.stmt(s.Assign, in)
+		return w.caseBodies(s.Body, in)
+	case *ast.SelectStmt:
+		w.visit(s, nil, in)
+		return w.caseBodies(s.Body, in)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			in = w.exprs(in, e)
+		}
+		return in, true
+	case *ast.BranchStmt:
+		return in, true
+	case *ast.DeferStmt:
+		w.deferCall(s.Call, in)
+		return in, false
+	case *ast.GoStmt:
+		// The goroutine body runs under its own context; record only the
+		// spawn itself.
+		w.visit(s, nil, in)
+		return in, false
+	default:
+		// Leaf statements: assignments, expression statements, sends,
+		// declarations, inc/dec. Walk contained expressions in order.
+		return w.exprs(in, s), w.isPanicStmt(s)
+	}
+}
+
+// caseBodies walks each case clause of a switch/select body with a copy of
+// the incoming state and union-merges the non-terminating outcomes.
+func (w *lockWalker) caseBodies(body *ast.BlockStmt, in LockState) (LockState, bool) {
+	out := in.clone()
+	for _, cs := range body.List {
+		var clauseIn LockState
+		var stmts []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			clauseIn = in.clone()
+			for _, e := range cs.List {
+				clauseIn = w.exprs(clauseIn, e)
+			}
+			stmts = cs.Body
+		case *ast.CommClause:
+			clauseIn = in.clone()
+			if cs.Comm != nil {
+				clauseIn, _ = w.stmt(cs.Comm, clauseIn)
+			}
+			stmts = cs.Body
+		default:
+			continue
+		}
+		term := false
+		for _, st := range stmts {
+			clauseIn, term = w.stmt(st, clauseIn)
+			if term {
+				break
+			}
+		}
+		if !term {
+			out.union(clauseIn)
+		}
+	}
+	return out, false
+}
+
+// exprs inspects node in source order, applying lock operations as they
+// appear and delivering every other node to visit. The incoming state is
+// mutated in place and returned.
+func (w *lockWalker) exprs(in LockState, node ast.Node) LockState {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			w.visit(n, nil, in)
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op := w.lockOp(call); op != nil {
+				w.visit(call, op, in)
+				if op.Acquire {
+					if op.Kind > in[op.Base] {
+						in[op.Base] = op.Kind
+					}
+				} else {
+					delete(in, op.Base)
+				}
+				return false
+			}
+		}
+		w.visit(n, nil, in)
+		return true
+	})
+	return in
+}
+
+// deferCall visits a deferred call's nodes without applying lock
+// operations.
+func (w *lockWalker) deferCall(call *ast.CallExpr, in LockState) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		w.visit(n, nil, in)
+		return true
+	})
+}
+
+// isPanicStmt reports whether s is a bare panic(...) call — terminating.
+func (w *lockWalker) isPanicStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	return ok && isPanicCall(w.info, call)
+}
+
+// lockOp recognizes x.Lock() / x.Unlock() / x.RLock() / x.RUnlock() where
+// the method belongs to package sync.
+func (w *lockWalker) lockOp(call *ast.CallExpr) *LockOp {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	var acquire bool
+	var kind LockKind
+	switch sel.Sel.Name {
+	case "Lock":
+		acquire, kind = true, LockWrite
+	case "RLock":
+		acquire, kind = true, LockRead
+	case "Unlock":
+		acquire, kind = false, LockWrite
+	case "RUnlock":
+		acquire, kind = false, LockRead
+	default:
+		return nil
+	}
+	fn := methodOf(w.info, sel)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	return &LockOp{Call: call, Base: ExprString(sel.X), BaseExpr: sel.X,
+		Acquire: acquire, Kind: kind}
+}
+
+// methodOf resolves the *types.Func a method selector names.
+func methodOf(info *types.Info, sel *ast.SelectorExpr) *types.Func {
+	if s, ok := info.Selections[sel]; ok {
+		fn, _ := s.Obj().(*types.Func)
+		return fn
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	return fn
+}
+
+// ExprString renders an expression's access path — the textual identity
+// the lock walker and the annotation matchers key on. Index expressions
+// collapse to "[...]" so all elements of a lock array share one identity;
+// that is deliberately coarse and biases toward considering locks held.
+func ExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return ExprString(e.X) + "[...]"
+	case *ast.ParenExpr:
+		return ExprString(e.X)
+	case *ast.StarExpr:
+		return ExprString(e.X)
+	case *ast.UnaryExpr:
+		return ExprString(e.X)
+	case *ast.CallExpr:
+		return ExprString(e.Fun) + "()"
+	default:
+		return "?"
+	}
+}
+
+// FieldVar resolves the struct-field (or package-level/local variable)
+// object an expression's final component names, for annotation lookups.
+func FieldVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok {
+			v, _ := s.Obj().(*types.Var)
+			return v
+		}
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Package hatest seeds hotalloc violations: //mehpt:hotpath functions
+// that reach heap allocations directly, transitively, through the
+// standard library, and through unanalyzable dynamic calls.
+package hatest
+
+import "fmt"
+
+type entry struct{ va, pa uint64 }
+
+//mehpt:hotpath
+func makeOnHot(n int) []entry {
+	return make([]entry, n) // want `hot path hatest\.makeOnHot reaches heap allocation: make`
+}
+
+//mehpt:hotpath
+func appendOnHot(s []entry, e entry) []entry {
+	return append(s, e) // want `append may grow its backing array`
+}
+
+//mehpt:hotpath
+func formats() string {
+	return fmt.Sprintf("x") // want `fmt\.Sprintf allocates \(chain hatest\.formats -> fmt\.Sprintf\)`
+}
+
+//mehpt:hotpath
+func closes(x uint64) func() uint64 {
+	return func() uint64 { return x } // want `func literal`
+}
+
+//mehpt:hotpath
+func concats(a, b string) string {
+	return a + b // want `string concatenation`
+}
+
+//mehpt:hotpath
+func boxes(v uint64) any {
+	return any(v) // want `interface boxing`
+}
+
+//mehpt:hotpath
+func spawns() {
+	go sink() // want `go statement`
+}
+
+func sink() {}
+
+// helper and grow are not annotated; they are reached from transitive.
+
+func helper(m map[uint64]uint64, k uint64) {
+	m[k] = k
+	grow()
+}
+
+func grow() []byte {
+	return make([]byte, 16)
+}
+
+//mehpt:hotpath
+func transitive(m map[uint64]uint64) {
+	helper(m, 1) // want `chain hatest\.transitive -> hatest\.helper -> hatest\.grow`
+}
+
+type walker interface {
+	Walk(va uint64) uint64
+}
+
+//mehpt:hotpath
+func dynCall(w walker, va uint64) uint64 {
+	return w.Walk(va) // want `unanalyzable dynamic call`
+}
+
+//mehpt:hotpath
+func funcValue(f func() uint64) uint64 {
+	return f() // want `call through func value`
+}
+
+// hotIface.Probe is a contract boundary: dynamic calls through it are
+// accepted, implementations carry their own annotation.
+type hotIface interface {
+	//mehpt:hotpath
+	Probe(va uint64) uint64
+}
+
+//mehpt:hotpath
+func dynOK(h hotIface, va uint64) uint64 {
+	return h.Probe(va)
+}
+
+// warm's append is waived at the site, so the hot caller stays clean too.
+
+//mehpt:hotpath
+func warm(s []entry) []entry {
+	//mehpt:allow hotalloc -- one-time warm-up growth, amortized to zero
+	return append(s, entry{})
+}
+
+//mehpt:hotpath
+func warmCaller(s []entry) []entry {
+	return warm(s)
+}
+
+// clean exercises the operations hotalloc must NOT flag: arithmetic,
+// array indexing into fixed backing, pointer math.
+//
+//mehpt:hotpath
+func clean(s []entry, mask uint64) uint64 {
+	e := &s[int(mask)&(len(s)-1)]
+	return e.va ^ e.pa
+}

@@ -19,6 +19,13 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Std marks a package resolved from GOROOT. Fact computation stops at
+	// the standard-library boundary: std behaviour comes from the curated
+	// tables in facts.go, never from traversing std sources.
+	Std bool
+	// loader is the loader that produced this package, so fact queries can
+	// reach sibling and dependency packages through the same cache.
+	loader *Loader
 }
 
 // Loader loads packages from source, resolving import paths to
@@ -34,6 +41,7 @@ type Loader struct {
 
 	pkgs    map[string]*Package
 	loading map[string]bool
+	facts   map[string]*PkgFacts
 }
 
 // NewLoader returns a loader with an empty cache.
@@ -43,6 +51,7 @@ func NewLoader(resolve func(string) (string, error)) *Loader {
 		Resolve: resolve,
 		pkgs:    map[string]*Package{},
 		loading: map[string]bool{},
+		facts:   map[string]*PkgFacts{},
 	}
 }
 
@@ -93,7 +102,9 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %w", path, err)
 	}
-	p := &Package{Path: path, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	std := strings.HasPrefix(dir, filepath.Join(build.Default.GOROOT, "src")+string(filepath.Separator))
+	p := &Package{Path: path, Fset: l.Fset, Files: files, Types: tpkg, Info: info,
+		Std: std, loader: l}
 	l.pkgs[path] = p
 	return p, nil
 }

@@ -1,0 +1,127 @@
+// Package lockguard enforces //mehpt:guardedby annotations: a struct
+// field annotated
+//
+//	mem *Memory //mehpt:guardedby mu
+//
+// may only be accessed while the named sibling mutex is held on the same
+// access path (an access spelled st.mem requires st.mu). Lock state is
+// tracked per statement by the flow walker in the analysis core, with
+// divergence pruning for the lock/check/unlock-and-continue idiom the
+// striped allocator uses; //mehpt:locked annotations seed the entry state
+// for helpers whose callers hold the lock.
+//
+// The analyzer also flags mixed atomic/plain access: a field that is
+// somewhere passed by address to a sync/atomic function must be accessed
+// atomically everywhere — a plain read beside atomic.AddUint64 is a data
+// race the race detector only finds on the schedules CI happens to run.
+// This is aimed at phys.Striped, tenant, and cuckoo's ConcurrentTable,
+// where runtime -race tiers are the only current enforcement.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces //mehpt:guardedby lock discipline and coherent
+// atomic-vs-plain field access.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated //mehpt:guardedby <mutex> must be accessed with " +
+		"the named lock held; fields used via sync/atomic must never also " +
+		"be accessed plainly",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	atomicFields, atomicArgs := collectAtomicUses(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			init := analysis.LockState{}
+			if fn != nil {
+				for _, l := range pass.Ann.Locked[fn] {
+					init[l] = analysis.LockWrite
+				}
+			}
+			analysis.WalkLocks(pass.TypesInfo, fd.Body, init,
+				func(n ast.Node, op *analysis.LockOp, held analysis.LockState) {
+					if op != nil {
+						return
+					}
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return
+					}
+					v := analysis.FieldVar(pass.TypesInfo, sel)
+					if v == nil {
+						return
+					}
+					if guard, ok := pass.Facts.GuardOf(v); ok {
+						lock := analysis.ExprString(sel.X) + "." + guard
+						if !held.Holds(lock) {
+							pass.Reportf(sel.Pos(),
+								"access to %s without holding %s (field is //mehpt:guardedby %s)",
+								analysis.ExprString(sel), lock, guard)
+						}
+					}
+					if atomicFields[v] && !atomicArgs[sel.Pos()] {
+						pass.Reportf(sel.Pos(),
+							"mixed atomic and plain access: field %s is passed to sync/atomic elsewhere; plain access here is a data race",
+							analysis.ExprString(sel))
+					}
+				})
+		}
+	}
+	return nil
+}
+
+// collectAtomicUses finds fields passed by address to sync/atomic
+// functions, package-wide. The second map records the positions of those
+// &x.f argument selectors so the atomic call sites themselves are not
+// reported as plain accesses.
+func collectAtomicUses(pass *analysis.Pass) (map[*types.Var]bool, map[token.Pos]bool) {
+	fields := map[*types.Var]bool{}
+	args := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				target, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				v := analysis.FieldVar(pass.TypesInfo, target)
+				if v == nil || !v.IsField() {
+					continue
+				}
+				fields[v] = true
+				args[target.Pos()] = true
+			}
+			return true
+		})
+	}
+	return fields, args
+}

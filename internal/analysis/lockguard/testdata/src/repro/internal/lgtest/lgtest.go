@@ -1,0 +1,119 @@
+// Package lgtest seeds lockguard violations: //mehpt:guardedby fields
+// accessed without the lock, with the wrong lock, after release, and
+// fields mixing atomic with plain access.
+package lgtest
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	n    uint64 //mehpt:guardedby mu
+	hits uint64 // plain uint64, also touched via sync/atomic: a race
+}
+
+func (c *counter) good() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) bad() {
+	c.n++ // want `access to c\.n without holding c\.mu`
+}
+
+func (c *counter) afterRelease() {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+	c.n = 1 // want `without holding c\.mu`
+}
+
+// branchy is the striped-allocator idiom: the early-out branch releases
+// and leaves, so the fall-through still holds the lock. Divergence
+// pruning must keep this clean.
+func (c *counter) branchy(ok bool) {
+	c.mu.Lock()
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// loop is the probe loop idiom: lock, try, unlock-and-continue.
+func (c *counter) loop(n int) {
+	for i := 0; i < n; i++ {
+		c.mu.Lock()
+		if i == 3 {
+			c.mu.Unlock()
+			continue
+		}
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+// locked declares its precondition: callers hold c.mu.
+//
+//mehpt:locked c.mu
+func (c *counter) locked() {
+	c.n++
+}
+
+// unlocked has no such annotation, so the access is a finding.
+func (c *counter) unlocked() {
+	c.n-- // want `without holding c\.mu`
+}
+
+func (c *counter) bumpAtomic() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) readPlain() uint64 {
+	return c.hits // want `mixed atomic and plain access`
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[uint64]uint64 //mehpt:guardedby mu
+}
+
+func (t *table) read(k uint64) uint64 {
+	t.mu.RLock()
+	v := t.m[k]
+	t.mu.RUnlock()
+	return v
+}
+
+func (t *table) badRead(k uint64) uint64 {
+	return t.m[k] // want `access to t\.m without holding t\.mu`
+}
+
+// deferred release keeps the lock held for the whole body.
+func (t *table) deferred(k uint64) uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+type two struct {
+	a sync.Mutex
+	b sync.Mutex
+	x int //mehpt:guardedby a
+}
+
+func (t *two) wrongLock() {
+	t.b.Lock()
+	t.x = 1 // want `access to t\.x without holding t\.a`
+	t.b.Unlock()
+}
+
+// waived accesses are suppressed with a reasoned directive.
+func (c *counter) waived() uint64 {
+	//mehpt:allow lockguard -- snapshot read for stats; staleness accepted
+	return c.n
+}

@@ -1,0 +1,165 @@
+// Package lockorder enforces the discipline of ordered lock classes. A
+// mutex field annotated
+//
+//	mu sync.Mutex //mehpt:ordered stripe
+//
+// belongs to a named class (the striped allocator's per-stripe locks, the
+// tenant machine's shard locks). Two rules follow:
+//
+//  1. One at a time, in index order. Acquiring a class lock while another
+//     lock of the same class is held is flagged — the striped designs in
+//     this repo take one stripe, try it, release it, and move on, which
+//     is deadlock-free by construction; holding two stripes at once is
+//     only safe under a global order the analyzer cannot prove.
+//  2. Nothing slow under the lock. While a class lock is held, the
+//     function must not block (channel operations, sync waits, nested
+//     locking) or allocate (directly, or through any statically
+//     resolvable call chain) — the stripe critical sections are sized in
+//     nanoseconds and sit on the multi-core simulation's hot path.
+//
+// Deliberate exceptions (the buddy allocator's free-list append under its
+// stripe lock) are waived at the site with //mehpt:allow lockorder.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces //mehpt:ordered lock-class discipline.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "locks annotated //mehpt:ordered <class> are acquired one at a " +
+		"time in index order and never held across blocking or allocating " +
+		"operations",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	allocs := analysis.NewReach(pass.Facts, "lockorder", analysis.ReachAlloc)
+	blocks := analysis.NewReach(pass.Facts, "lockorder", analysis.ReachBlock)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, allocs, blocks)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, allocs, blocks *analysis.Reach) {
+	info := pass.TypesInfo
+	// classOf accumulates the lock class of every ordered base expression
+	// acquired in this function, so held-set lookups can tell class locks
+	// from ordinary ones.
+	classOf := map[string]string{}
+	analysis.WalkLocks(info, fd.Body, nil,
+		func(n ast.Node, op *analysis.LockOp, held analysis.LockState) {
+			if op != nil {
+				if !op.Acquire {
+					return
+				}
+				v := analysis.FieldVar(info, op.BaseExpr)
+				class, ok := pass.Facts.OrderedClassOf(v)
+				if !ok {
+					// Acquiring an unordered lock while a class lock is
+					// held still blocks under it.
+					if list := heldClasses(held, classOf); len(list) != 0 {
+						pass.Reportf(op.Call.Pos(),
+							"acquiring %s while holding %s: nested locking under an ordered class lock can block",
+							op.Base, strings.Join(list, ", "))
+					}
+					return
+				}
+				classOf[op.Base] = class
+				for _, base := range sortedHeld(held) {
+					if classOf[base] == class {
+						pass.Reportf(op.Call.Pos(),
+							"acquiring %s while %s of lock class %q is already held; class locks are taken one at a time in canonical index order",
+							op.Base, base, class)
+						return
+					}
+				}
+				return
+			}
+			list := heldClasses(held, classOf)
+			if len(list) == 0 {
+				return
+			}
+			locks := strings.Join(list, ", ")
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n, locks, allocs, blocks)
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send while holding %s", locks)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive while holding %s", locks)
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select while holding %s", locks)
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement (allocates) while holding %s", locks)
+			case *ast.FuncLit:
+				pass.Reportf(n.Pos(), "func literal (allocates) while holding %s", locks)
+			}
+		})
+}
+
+// checkCall flags builtin allocations and calls that transitively block
+// or allocate, made while a class lock is held.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, locks string, allocs, blocks *analysis.Reach) {
+	info := pass.TypesInfo
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				pass.Reportf(call.Pos(), "%s while holding %s", b.Name(), locks)
+			}
+			return
+		}
+	}
+	callee := analysis.CalleeFunc(info, call)
+	if callee == nil {
+		return
+	}
+	if f := blocks.First(callee); f != nil {
+		pass.Reportf(call.Pos(), "call while holding %s may block: %s (chain %s)",
+			locks, f.Desc, strings.Join(f.Chain, " -> "))
+		return
+	}
+	if f := allocs.First(callee); f != nil {
+		pass.Reportf(call.Pos(), "call while holding %s allocates: %s (chain %s)",
+			locks, f.Desc, strings.Join(f.Chain, " -> "))
+	}
+}
+
+// heldClasses lists the held locks that belong to an ordered class, as
+// "base (class)" strings, sorted for deterministic messages.
+func heldClasses(held analysis.LockState, classOf map[string]string) []string {
+	var list []string
+	for base := range held {
+		if c, ok := classOf[base]; ok {
+			list = append(list, base+" (class "+c+")")
+		}
+	}
+	sort.Strings(list)
+	return list
+}
+
+func sortedHeld(held analysis.LockState) []string {
+	bases := make([]string, 0, len(held))
+	for b := range held {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	return bases
+}

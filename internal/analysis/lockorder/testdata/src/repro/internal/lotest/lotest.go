@@ -1,0 +1,123 @@
+// Package lotest seeds lockorder violations: nested same-class
+// acquisition, nested unordered locking under a class lock, and blocking
+// or allocating operations under a class lock.
+package lotest
+
+import (
+	"fmt"
+	"sync"
+)
+
+type stripe struct {
+	mu sync.Mutex //mehpt:ordered stripe
+	n  int
+}
+
+type pool struct {
+	stripes []stripe
+	scratch []int
+	aux     sync.Mutex
+}
+
+// good takes one stripe at a time: lock, touch, release, move on.
+func (p *pool) good(i, j int) {
+	p.stripes[i].mu.Lock()
+	p.stripes[i].n++
+	p.stripes[i].mu.Unlock()
+	p.stripes[j].mu.Lock()
+	p.stripes[j].n++
+	p.stripes[j].mu.Unlock()
+}
+
+// probe is the wrap-around probe idiom with unlock-and-continue.
+func (p *pool) probe(n int) int {
+	for i := 0; i < n; i++ {
+		p.stripes[i].mu.Lock()
+		if p.stripes[i].n == 0 {
+			p.stripes[i].mu.Unlock()
+			continue
+		}
+		p.stripes[i].n--
+		p.stripes[i].mu.Unlock()
+		return i
+	}
+	return -1
+}
+
+func (p *pool) nested(i, j int) {
+	p.stripes[i].mu.Lock()
+	p.stripes[j].mu.Lock() // want `already held; class locks are taken one at a time`
+	p.stripes[j].n++
+	p.stripes[i].n++
+	p.stripes[j].mu.Unlock()
+	p.stripes[i].mu.Unlock()
+}
+
+func (p *pool) aliased(i, j int) {
+	a := &p.stripes[i]
+	b := &p.stripes[j]
+	a.mu.Lock()
+	b.mu.Lock() // want `acquiring b\.mu while a\.mu of lock class "stripe" is already held`
+	b.n++
+	a.n++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func (p *pool) nestedUnordered(i int) {
+	p.stripes[i].mu.Lock()
+	p.aux.Lock() // want `nested locking under an ordered class lock`
+	p.aux.Unlock()
+	p.stripes[i].mu.Unlock()
+}
+
+func block(ch chan int) int { return <-ch }
+
+func (p *pool) blockingCall(i int, ch chan int) {
+	p.stripes[i].mu.Lock()
+	block(ch) // want `may block: channel receive`
+	p.stripes[i].mu.Unlock()
+}
+
+func (p *pool) sendUnder(i int, ch chan int) {
+	p.stripes[i].mu.Lock()
+	ch <- 1 // want `channel send while holding`
+	p.stripes[i].mu.Unlock()
+}
+
+func grow() []int { return make([]int, 8) }
+
+func (p *pool) allocCall(i int) {
+	p.stripes[i].mu.Lock()
+	p.scratch = grow() // want `allocates: make`
+	p.stripes[i].mu.Unlock()
+}
+
+func (p *pool) fmtUnder(i int) {
+	p.stripes[i].mu.Lock()
+	fmt.Println(p.stripes[i].n) // want `allocates`
+	p.stripes[i].mu.Unlock()
+}
+
+func (p *pool) makeUnder(i int) {
+	p.stripes[i].mu.Lock()
+	p.scratch = make([]int, 4) // want `make while holding`
+	p.stripes[i].mu.Unlock()
+}
+
+// unlockFirst releases before the slow call: clean.
+func (p *pool) unlockFirst(i int) {
+	p.stripes[i].mu.Lock()
+	p.stripes[i].n++
+	p.stripes[i].mu.Unlock()
+	fmt.Println("fine")
+}
+
+// waived: the buddy-allocator pattern, a deliberate append under the
+// stripe lock with a recorded reason.
+func (p *pool) waived(i int) {
+	p.stripes[i].mu.Lock()
+	//mehpt:allow lockorder -- free-list append is bounded and amortized
+	p.scratch = append(p.scratch, i)
+	p.stripes[i].mu.Unlock()
+}

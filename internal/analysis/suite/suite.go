@@ -6,6 +6,10 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/addrspace"
 	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/errwrap"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/lockguard"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/randowner"
 )
@@ -15,6 +19,10 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		addrspace.Analyzer,
 		detrand.Analyzer,
+		errwrap.Analyzer,
+		hotalloc.Analyzer,
+		lockguard.Analyzer,
+		lockorder.Analyzer,
 		maporder.Analyzer,
 		randowner.Analyzer,
 	}

@@ -78,6 +78,7 @@ func (c *Cache) set(ln uint64) []uint64 {
 }
 
 // Lookup probes the cache without filling, updating LRU on a hit.
+//mehpt:hotpath
 func (c *Cache) Lookup(pa addr.PhysAddr) bool {
 	want := c.line(pa) + 1
 	set := c.set(want - 1)
@@ -97,6 +98,7 @@ func (c *Cache) Lookup(pa addr.PhysAddr) bool {
 }
 
 // Fill inserts pa's line, evicting the LRU victim if the set is full.
+//mehpt:hotpath
 func (c *Cache) Fill(pa addr.PhysAddr) {
 	want := c.line(pa) + 1
 	set := c.set(want - 1)
@@ -157,6 +159,7 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 
 // Access performs one memory access and returns its round-trip latency. On
 // a miss the line is filled into every level (inclusive hierarchy).
+//mehpt:hotpath
 func (h *Hierarchy) Access(pa addr.PhysAddr) uint64 {
 	for i := range h.levels {
 		if h.levels[i].Lookup(pa) {
@@ -182,6 +185,7 @@ func (h *Hierarchy) Access(pa addr.PhysAddr) uint64 {
 // exactly why a four-access sequential radix walk is materially slower than
 // a single hashed probe (Figure 9's mechanism, and Section I's point that
 // tree walks cannot exploit memory-level parallelism).
+//mehpt:hotpath
 func (h *Hierarchy) AccessPT(pa addr.PhysAddr) uint64 {
 	_ = pa
 	h.dramHits++
@@ -191,6 +195,7 @@ func (h *Hierarchy) AccessPT(pa addr.PhysAddr) uint64 {
 // Peek returns the latency pa would see right now without touching state —
 // used to price the parallel probes of a cuckoo walk, where only the
 // winning probe should update LRU state meaningfully.
+//mehpt:hotpath
 func (h *Hierarchy) Peek(pa addr.PhysAddr) uint64 {
 	for i := range h.levels {
 		c := &h.levels[i]

@@ -228,6 +228,7 @@ func (t *Table) occupancy() float64 {
 // for them. Both tables of way i use the same hash function and power-of-two
 // sizes, so one hash value serves both — only the mask differs (the paper's
 // upsize-bit property).
+//mehpt:hotpath
 func (t *Table) locateHash(i int, h uint64) (*way, uint64) {
 	w := t.cur[i]
 	idx := h & (w.size() - 1)
@@ -240,6 +241,7 @@ func (t *Table) locateHash(i int, h uint64) (*way, uint64) {
 
 // locate is locateHash with the hash computed here. Multi-way loops hoist
 // the shared CRC through t.mixer instead of calling this per way.
+//mehpt:hotpath
 func (t *Table) locate(i int, key uint64) (*way, uint64) {
 	return t.locateHash(i, t.fns[i].Hash(key))
 }
@@ -248,6 +250,7 @@ func (t *Table) locate(i int, key uint64) (*way, uint64) {
 // resize-target table (inNext) and at which slot index — the information a
 // hardware walker derives from the rehash pointers, which the embedding
 // page table needs to compute probe addresses.
+//mehpt:hotpath
 func (t *Table) Probe(i int, key uint64) (inNext bool, idx uint64) {
 	h := t.fns[i].Hash(key)
 	w := t.cur[i]
@@ -260,6 +263,7 @@ func (t *Table) Probe(i int, key uint64) (inNext bool, idx uint64) {
 }
 
 // WayOf returns the way index currently holding key.
+//mehpt:hotpath
 func (t *Table) WayOf(key uint64) (int, bool) {
 	crc := t.mixer.CRC(key)
 	for i := 0; i < t.cfg.Ways; i++ {
@@ -272,6 +276,7 @@ func (t *Table) WayOf(key uint64) (int, bool) {
 }
 
 // Lookup returns the value stored for key.
+//mehpt:hotpath
 func (t *Table) Lookup(key uint64) (uint64, bool) {
 	v, _, ok := t.LookupWay(key)
 	return v, ok
@@ -280,6 +285,7 @@ func (t *Table) Lookup(key uint64) (uint64, bool) {
 // LookupWay is Lookup additionally reporting the way that hit — the fused
 // walk uses it to avoid a second full probe sweep (WayOf) per translation.
 // Its statistics footprint is identical to Lookup's.
+//mehpt:hotpath
 func (t *Table) LookupWay(key uint64) (uint64, int, bool) {
 	t.stats.Lookups++
 	crc := t.mixer.CRC(key)
@@ -472,7 +478,7 @@ func (t *Table) maybeResize() {
 		}
 	case t.occupancy() < t.cfg.DownsizeAt && size > t.cfg.InitialEntries:
 		// Downsizing can always find memory (smaller allocation).
-		_ = t.startResize(size / 2)
+		_ = t.startResize(size / 2) //mehpt:allow errwrap -- downsize failure is benign; the table just stays large
 	}
 }
 

@@ -32,6 +32,7 @@ type small struct {
 	tags    []uint64
 }
 
+//mehpt:hotpath
 func (c *small) lookup(tag uint64) bool {
 	for i, t := range c.tags {
 		if t == tag+1 {
@@ -43,12 +44,13 @@ func (c *small) lookup(tag uint64) bool {
 	return false
 }
 
+//mehpt:hotpath
 func (c *small) insert(tag uint64) {
 	if c.lookup(tag) {
 		return
 	}
 	if len(c.tags) < c.entries {
-		c.tags = append(c.tags, 0)
+		c.tags = append(c.tags, 0) //mehpt:allow hotalloc -- one-time warm-up growth up to c.entries, amortized to zero
 	}
 	copy(c.tags[1:], c.tags)
 	c.tags[0] = tag + 1
@@ -76,6 +78,7 @@ func New() *Walker {
 // it must also fetch the CWT entry from memory; the returned address is
 // that extra access (to be priced by the cache hierarchy). Probing fills
 // the caches, as the subsequent CWT fetch would.
+//mehpt:hotpath
 func (w *Walker) Probe(va addr.VirtAddr) (hit bool, cwtFetch addr.PhysAddr, lat uint64) {
 	pmdRegion := uint64(va) >> addr.Page2M.Shift()
 	pudRegion := uint64(va) >> addr.Page1G.Shift()

@@ -155,6 +155,7 @@ func (d *Directory) Evict(pa addr.PhysAddr, core int) bool {
 		d.t.Delete(lineKey(pa))
 		return true
 	}
+	//mehpt:allow errwrap -- shrinking update of an existing key cannot grow the table
 	d.t.Insert(lineKey(pa), pack(s))
 	return true
 }

@@ -190,6 +190,7 @@ func (t *Table) DrainResize() error { return t.tb.DrainResize() }
 func (t *Table) Insert(key, val uint64) (int, error) { return t.tb.Insert(key, val) }
 
 // Lookup returns the value for key.
+//mehpt:hotpath
 func (t *Table) Lookup(key uint64) (uint64, bool) { return t.tb.Lookup(key) }
 
 // LookupWay is Lookup additionally reporting the way that hit, with the
@@ -218,7 +219,7 @@ func (t *Table) ProbeAddr(i int, key uint64) addr.PhysAddr {
 // ignored: every live group is freed below regardless of resize state, so
 // teardown never leaks frames.
 func (t *Table) Free() {
-	_ = t.tb.DrainResize()
+	_ = t.tb.DrainResize() //mehpt:allow errwrap -- teardown: every live group is freed below regardless
 	for _, g := range t.groups {
 		wayBytes := g.entriesPerWay * pt.EntryBytes
 		for _, b := range g.bases {

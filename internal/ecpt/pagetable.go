@@ -91,6 +91,7 @@ func (p *PageTable) Unmap(vpn addr.VPN, s addr.PageSize) (uint64, bool) {
 }
 
 // Translate resolves va against all page sizes, largest first.
+//mehpt:hotpath
 func (p *PageTable) Translate(va addr.VirtAddr) (pt.Translation, bool) {
 	for i := int(addr.NumPageSizes) - 1; i >= 0; i-- {
 		s := addr.PageSize(i)
@@ -102,6 +103,7 @@ func (p *PageTable) Translate(va addr.VirtAddr) (pt.Translation, bool) {
 }
 
 // TranslateSize resolves vpn at exactly the given page size.
+//mehpt:hotpath
 func (p *PageTable) TranslateSize(vpn addr.VPN, s addr.PageSize) (addr.PPN, bool) {
 	if p.tables[s] == nil {
 		return 0, false
@@ -129,6 +131,7 @@ func (p *PageTable) ProbeAddrs(va addr.VirtAddr, s addr.PageSize) []addr.PhysAdd
 }
 
 // WayProbeAddr returns the physical address of one way's probe slot.
+//mehpt:hotpath
 func (p *PageTable) WayProbeAddr(va addr.VirtAddr, s addr.PageSize, wayIdx int) addr.PhysAddr {
 	return p.tables[s].ProbeAddr(wayIdx, pt.ClusterKey(va.PageNumber(s)))
 }
@@ -137,6 +140,7 @@ func (p *PageTable) WayProbeAddr(va addr.VirtAddr, s addr.PageSize, wayIdx int) 
 // probe slot — the fused equivalent of Translate + WayOf + WayProbeAddr the
 // MMU's miss path uses, with the identical per-table statistics footprint
 // (one Lookup per instantiated size table until the hit).
+//mehpt:hotpath
 func (p *PageTable) Walk(va addr.VirtAddr) (pt.Translation, addr.PhysAddr, bool) {
 	for i := int(addr.NumPageSizes) - 1; i >= 0; i-- {
 		s := addr.PageSize(i)
@@ -160,6 +164,7 @@ func (p *PageTable) Walk(va addr.VirtAddr) (pt.Translation, addr.PhysAddr, bool)
 }
 
 // WayOf returns the way index holding va's cluster at page size s.
+//mehpt:hotpath
 func (p *PageTable) WayOf(va addr.VirtAddr, s addr.PageSize) (int, bool) {
 	if p.tables[s] == nil {
 		return 0, false

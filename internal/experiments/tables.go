@@ -186,7 +186,7 @@ func RunFragmentationStress(memBytes uint64, seed int64) []FragmentationStressRo
 	mem := phys.NewMemory(memBytes)
 	fr := phys.NewFragmenter(mem)
 	rng := newRand(seed)
-	_ = fr.Fragment(0.5, 0.3, phys.OrderFor(1*addr.MB), rng)
+	_ = fr.Fragment(0.5, 0.3, phys.OrderFor(1*addr.MB), rng) //mehpt:allow errwrap -- best-effort fragmentation; the sweep measures whatever pressure it achieved
 	sizes := []uint64{4 * addr.KB, 8 * addr.KB, 1 * addr.MB, 8 * addr.MB, 64 * addr.MB}
 	rows := make([]FragmentationStressRow, 0, len(sizes))
 	for _, s := range sizes {

@@ -38,16 +38,16 @@ func Virtualization(o Options, pages int) []VirtRow {
 		if hashed {
 			gcfg := mehpt.DefaultConfig(uint64(o.Seed))
 			gcfg.Rand = rand.New(rand.NewSource(o.Seed))
-			gpt, _ := mehpt.NewPageTable(guestAlloc, gcfg)
+			gpt, _ := mehpt.NewPageTable(guestAlloc, gcfg) //mehpt:allow errwrap -- fresh dedicated allocator cannot be out of memory
 			hcfg := mehpt.DefaultConfig(uint64(o.Seed) + 1)
 			hcfg.Rand = rand.New(rand.NewSource(o.Seed + 1))
-			hpt, _ := mehpt.NewPageTable(hostAlloc, hcfg)
+			hpt, _ := mehpt.NewPageTable(hostAlloc, hcfg) //mehpt:allow errwrap -- fresh dedicated allocator cannot be out of memory
 			guest, host = &nested.HPTGuest{PT: gpt}, &nested.HPTHost{PT: hpt}
 			mapGuest = func(v addr.VPN, p addr.PPN) error { _, err := gpt.Map(v, addr.Page4K, p); return err }
 			mapHost = func(v addr.VPN, p addr.PPN) error { _, err := hpt.Map(v, addr.Page4K, p); return err }
 		} else {
-			gpt, _ := radix.NewPageTable(guestAlloc)
-			hpt, _ := radix.NewPageTable(hostAlloc)
+			gpt, _ := radix.NewPageTable(guestAlloc) //mehpt:allow errwrap -- fresh dedicated allocator cannot be out of memory
+			hpt, _ := radix.NewPageTable(hostAlloc) //mehpt:allow errwrap -- fresh dedicated allocator cannot be out of memory
 			guest, host = &nested.RadixGuest{PT: gpt}, &nested.RadixHost{PT: hpt}
 			mapGuest = func(v addr.VPN, p addr.PPN) error { _, err := gpt.Map(v, addr.Page4K, p); return err }
 			mapHost = func(v addr.VPN, p addr.PPN) error { _, err := hpt.Map(v, addr.Page4K, p); return err }

@@ -237,7 +237,7 @@ func Parse(spec string, seed int64) (Policy, error) {
 		case "big":
 			b, err := parseSize(val)
 			if err != nil {
-				return nil, fmt.Errorf("inject: big=%q: %v", val, err)
+				return nil, fmt.Errorf("inject: big=%q: %w", val, err)
 			}
 			members = append(members, MinSize{Bytes: b})
 		default:

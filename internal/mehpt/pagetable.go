@@ -108,6 +108,7 @@ func (p *PageTable) Unmap(vpn addr.VPN, s addr.PageSize) (uint64, bool) {
 
 // Translate resolves va against all page sizes, largest first (a huge-page
 // mapping shadows any stale base-page entries).
+//mehpt:hotpath
 func (p *PageTable) Translate(va addr.VirtAddr) (pt.Translation, bool) {
 	for i := int(addr.NumPageSizes) - 1; i >= 0; i-- {
 		s := addr.PageSize(i)
@@ -120,6 +121,7 @@ func (p *PageTable) Translate(va addr.VirtAddr) (pt.Translation, bool) {
 }
 
 // TranslateSize resolves vpn at exactly the given page size.
+//mehpt:hotpath
 func (p *PageTable) TranslateSize(vpn addr.VPN, s addr.PageSize) (addr.PPN, bool) {
 	if p.tables[s] == nil {
 		return 0, false
@@ -136,6 +138,7 @@ func (p *PageTable) TranslateSize(vpn addr.VPN, s addr.PageSize) (addr.PPN, bool
 // MMU's miss path uses. Its statistics footprint is identical: one Lookup
 // counted per instantiated size table until the hit, and a stash-resident
 // entry reports way 0's probe address (WayOf does not see the stash).
+//mehpt:hotpath
 func (p *PageTable) Walk(va addr.VirtAddr) (pt.Translation, addr.PhysAddr, bool) {
 	for i := int(addr.NumPageSizes) - 1; i >= 0; i-- {
 		s := addr.PageSize(i)
@@ -192,6 +195,7 @@ func (p *PageTable) ProbeAddrs(va addr.VirtAddr, s addr.PageSize) []addr.PhysAdd
 // WayProbeAddr returns the physical address of one way's probe slot for va
 // at page size s — used when the cuckoo walk cache has narrowed the walk to
 // a single way.
+//mehpt:hotpath
 func (p *PageTable) WayProbeAddr(va addr.VirtAddr, s addr.PageSize, wayIdx int) addr.PhysAddr {
 	t := p.tables[s]
 	key := pt.ClusterKey(va.PageNumber(s))
@@ -201,6 +205,7 @@ func (p *PageTable) WayProbeAddr(va addr.VirtAddr, s addr.PageSize, wayIdx int) 
 
 // WayOf returns the way index currently holding va's cluster at page size
 // s, and whether it is present — ground truth for cuckoo walk tables.
+//mehpt:hotpath
 func (p *PageTable) WayOf(va addr.VirtAddr, s addr.PageSize) (int, bool) {
 	t := p.tables[s]
 	if t == nil {
@@ -279,7 +284,7 @@ func (p *PageTable) Free() {
 		if t == nil {
 			continue
 		}
-		t.DrainResizes()
+		t.DrainResizes() //mehpt:allow errwrap -- teardown: ways and pending stores are freed below regardless
 		for _, w := range t.ways {
 			w.store.Free()
 			if w.pending != nil {

@@ -256,6 +256,7 @@ func (t *Table) Resizing() bool {
 // lookupSlot finds the way index and slot index holding key. One CRC pass
 // serves all W probes (hashfn.Mixer); each way reuses its hash across the
 // old and new index masks during resizes.
+//mehpt:hotpath
 func (t *Table) lookupSlot(key uint64) (int, uint64, bool) {
 	crc := t.mixer.CRC(key)
 	for i, w := range t.ways {
@@ -268,6 +269,7 @@ func (t *Table) lookupSlot(key uint64) (int, uint64, bool) {
 }
 
 // stashIndex returns the stash position of key, or -1.
+//mehpt:hotpath
 func (t *Table) stashIndex(key uint64) int {
 	for i, e := range t.stash {
 		if e.Key == key {
@@ -279,6 +281,7 @@ func (t *Table) stashIndex(key uint64) int {
 
 // Lookup returns the cluster id stored for key, consulting the software
 // stash after the W hash probes (the OS-walked overflow path).
+//mehpt:hotpath
 func (t *Table) Lookup(key uint64) (uint64, bool) {
 	t.stats.Lookups++
 	if i, idx, ok := t.lookupSlot(key); ok {
@@ -303,7 +306,7 @@ func (t *Table) Insert(key, val uint64) (kicks int, cycles uint64, err error) {
 	}
 	// A stalled migration is not fatal to this insert: the stuck entry was
 	// rolled back and stays reachable; a later tick retries it.
-	c, _ := t.rehashTick()
+	c, _ := t.rehashTick() //mehpt:allow errwrap -- a stalled migration is a scheduling hint, not a failure (see comment above)
 	cycles += c
 	kicks, err = t.place(cuckoo.Entry{Key: key, Val: val}, -1, true)
 	if err != nil {

@@ -42,13 +42,17 @@ type Stats struct {
 // HPTPageTable is the interface both ecpt.PageTable and mehpt.PageTable
 // satisfy: the hashed-walk operations the MMU needs.
 type HPTPageTable interface {
+	//mehpt:hotpath
 	Translate(va addr.VirtAddr) (pt.Translation, bool)
+	//mehpt:hotpath
 	WayOf(va addr.VirtAddr, s addr.PageSize) (int, bool)
+	//mehpt:hotpath
 	WayProbeAddr(va addr.VirtAddr, s addr.PageSize, way int) addr.PhysAddr
 	// Walk fuses Translate + WayOf + WayProbeAddr for the TLB-miss path:
 	// one probe sweep resolves the translation and the winning way's probe
 	// address, with the same statistics footprint as the three separate
 	// calls.
+	//mehpt:hotpath
 	Walk(va addr.VirtAddr) (pt.Translation, addr.PhysAddr, bool)
 }
 
@@ -76,6 +80,7 @@ func (m *HPT) Stats() Stats { return m.stats }
 
 // Translate resolves va, modelling the full latency of TLB lookup and, on a
 // miss, the hashed page walk.
+//mehpt:hotpath
 func (m *HPT) Translate(va addr.VirtAddr) Result {
 	m.stats.Translations++
 	var cycles uint64
@@ -165,6 +170,7 @@ type pwc struct {
 	tags    []uint64
 }
 
+//mehpt:hotpath
 func (c *pwc) lookup(va addr.VirtAddr) bool {
 	tag := uint64(va) >> c.shift
 	for i, t := range c.tags {
@@ -177,12 +183,13 @@ func (c *pwc) lookup(va addr.VirtAddr) bool {
 	return false
 }
 
+//mehpt:hotpath
 func (c *pwc) insert(va addr.VirtAddr) {
 	if c.lookup(va) {
 		return
 	}
 	if len(c.tags) < c.entries {
-		c.tags = append(c.tags, 0)
+		c.tags = append(c.tags, 0) //mehpt:allow hotalloc -- one-time warm-up growth up to c.entries, amortized to zero
 	}
 	copy(c.tags[1:], c.tags)
 	c.tags[0] = uint64(va)>>c.shift + 1
@@ -221,6 +228,7 @@ func (m *Radix) Stats() Stats { return m.stats }
 
 // Translate resolves va through the TLBs and, on a miss, a sequential tree
 // walk whose upper levels the PWCs can skip.
+//mehpt:hotpath
 func (m *Radix) Translate(va addr.VirtAddr) Result {
 	m.stats.Translations++
 	var cycles uint64
@@ -309,6 +317,7 @@ func (m *Radix) Bind(table *radix.PageTable) {
 
 // MMU is the interface the simulator drives; both variants satisfy it.
 type MMU interface {
+	//mehpt:hotpath
 	Translate(va addr.VirtAddr) Result
 	Invalidate(va addr.VirtAddr, s addr.PageSize)
 	Stats() Stats

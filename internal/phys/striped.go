@@ -41,13 +41,13 @@ type Striped struct {
 	free atomic.Uint64 // global free bytes, maintained on alloc/free
 
 	hookMu sync.Mutex
-	hook   AllocHook
-	seq    uint64 // allocation attempts issued, guarded by hookMu
+	hook   AllocHook //mehpt:guardedby hookMu
+	seq    uint64    //mehpt:guardedby hookMu -- allocation attempts issued
 }
 
 type stripe struct {
-	mu  sync.Mutex
-	mem *Memory
+	mu  sync.Mutex //mehpt:ordered stripe
+	mem *Memory    //mehpt:guardedby mu
 }
 
 // stripeAlign keeps every stripe a whole number of 2MB regions so global

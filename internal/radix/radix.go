@@ -216,6 +216,7 @@ func (p *PageTable) Unmap(vpn addr.VPN, s addr.PageSize) (uint64, bool) {
 }
 
 // Translate resolves va by walking the tree.
+//mehpt:hotpath
 func (p *PageTable) Translate(va addr.VirtAddr) (pt.Translation, bool) {
 	n := p.root
 	for lvl := p.levels - 1; lvl >= 0; lvl-- {
@@ -244,6 +245,7 @@ func sizeAtLevel(lvl int) addr.PageSize {
 }
 
 // TranslateSize resolves vpn at exactly the given page size.
+//mehpt:hotpath
 func (p *PageTable) TranslateSize(vpn addr.VPN, s addr.PageSize) (addr.PPN, bool) {
 	tr, ok := p.Translate(vpn.Addr(s))
 	if !ok || tr.Size != s {
@@ -264,11 +266,12 @@ func (p *PageTable) WalkAddrs(va addr.VirtAddr) ([]addr.PhysAddr, pt.Translation
 // walk is at most MaxLevels accesses, so a caller that reuses a scratch
 // buffer of that capacity walks without allocating. This matters: the walk
 // ran once per TLB miss and was the simulator's largest allocation source.
+//mehpt:hotpath
 func (p *PageTable) AppendWalkAddrs(pas []addr.PhysAddr, va addr.VirtAddr) ([]addr.PhysAddr, pt.Translation, bool) {
 	n := p.root
 	for lvl := p.levels - 1; lvl >= 0; lvl-- {
 		idx := addr.RadixIndex(va, lvl)
-		pas = append(pas, n.frame.Addr(addr.Page4K)+addr.PhysAddr(uint64(idx)*entryBytes))
+		pas = append(pas, n.frame.Addr(addr.Page4K)+addr.PhysAddr(uint64(idx)*entryBytes)) //mehpt:allow hotalloc -- appends into caller-owned scratch; steady state never grows it
 		e := &n.entries[idx]
 		if !e.present {
 			return pas, pt.Translation{}, false

@@ -294,7 +294,7 @@ func (m *Machine) Run() Result {
 // serviceFault runs the OS fault handler for va, accumulating its cycle
 // cost. It returns false if the run must stop (allocation failure).
 func (m *Machine) serviceFault(va addr.VirtAddr, res *Result) bool {
-	cycles, err := m.os.HandleFault(va)
+	cycles, err := m.os.HandleFault(va) //mehpt:allow hotalloc -- fault path: a miss leaves the translation fast path by design
 	res.OSCycles += cycles
 	if err != nil {
 		res.Failed = true
@@ -307,6 +307,7 @@ func (m *Machine) serviceFault(va addr.VirtAddr, res *Result) bool {
 // traceLoopHPT is the timed access loop over the hashed-page-table MMU.
 // traceLoopRadix and traceLoopGeneric are the same loop body over their
 // respective MMU types; all three must stay in lockstep.
+//mehpt:hotpath
 func (m *Machine) traceLoopHPT(trace *workload.Trace, res *Result, mm *mmu.HPT) {
 	var accesses, xlat, data uint64
 	for {
@@ -337,6 +338,7 @@ func (m *Machine) traceLoopHPT(trace *workload.Trace, res *Result, mm *mmu.HPT) 
 }
 
 // traceLoopRadix mirrors traceLoopHPT for the radix MMU.
+//mehpt:hotpath
 func (m *Machine) traceLoopRadix(trace *workload.Trace, res *Result, mm *mmu.Radix) {
 	var accesses, xlat, data uint64
 	for {
@@ -368,6 +370,7 @@ func (m *Machine) traceLoopRadix(trace *workload.Trace, res *Result, mm *mmu.Rad
 
 // traceLoopGeneric mirrors traceLoopHPT over the MMU interface, for MMU
 // implementations the fast paths do not know about.
+//mehpt:hotpath
 func (m *Machine) traceLoopGeneric(trace *workload.Trace, res *Result) {
 	var accesses, xlat, data uint64
 	for {

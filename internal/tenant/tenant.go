@@ -487,6 +487,7 @@ func runQuantum(cfg Config, p *process, sh *shard, shared *sharedRegion) {
 
 // privateAccess replays one trace access through the shard MMU, faulting
 // on demand. It returns false when the tenant fails.
+//mehpt:hotpath
 func privateAccess(p *process, sh *shard) bool {
 	va, ok := p.trace.Next()
 	if !ok {
@@ -498,7 +499,7 @@ func privateAccess(p *process, sh *shard) bool {
 	r := m.Translate(va)
 	p.res.XlatCycles += r.Cycles
 	if r.Fault {
-		c, err := p.os.HandleFault(va)
+		c, err := p.os.HandleFault(va) //mehpt:allow hotalloc -- fault path: a miss leaves the translation fast path by design
 		p.res.OSCycles += c
 		if err != nil {
 			p.fail(err)
@@ -514,6 +515,7 @@ func privateAccess(p *process, sh *shard) bool {
 // sharedAccess touches one page of the shared segment: a TLB probe on the
 // shard, a concurrent-table lookup for the frame, and on a TLB miss the
 // hashed-walk cost of one shared page-table probe.
+//mehpt:hotpath
 func sharedAccess(p *process, sh *shard, shared *sharedRegion) {
 	page := uint64(p.rng.Int63()) % shared.pages
 	va := SharedBaseVA + addr.VirtAddr(page*4*addr.KB)

@@ -57,6 +57,7 @@ func (t *TLB) set(vpn addr.VPN) []uint64 {
 }
 
 // Lookup probes for vpn, updating LRU on a hit.
+//mehpt:hotpath
 func (t *TLB) Lookup(vpn addr.VPN) bool {
 	set := t.set(vpn)
 	want := uint64(vpn) + 1
@@ -76,6 +77,7 @@ func (t *TLB) Lookup(vpn addr.VPN) bool {
 }
 
 // Insert installs vpn, evicting the set's LRU entry if needed.
+//mehpt:hotpath
 func (t *TLB) Insert(vpn addr.VPN) {
 	set := t.set(vpn)
 	want := uint64(vpn) + 1
@@ -159,6 +161,7 @@ const (
 
 // Lookup probes L1 then L2 for va at page size s, returning the outcome and
 // the lookup latency. An L2 hit refills L1.
+//mehpt:hotpath
 func (h *Hierarchy) Lookup(va addr.VirtAddr, s addr.PageSize) (Result, uint64) {
 	vpn := va.PageNumber(s)
 	if h.l1[s].Lookup(vpn) {
@@ -172,6 +175,7 @@ func (h *Hierarchy) Lookup(va addr.VirtAddr, s addr.PageSize) (Result, uint64) {
 }
 
 // Insert installs a completed translation into both levels.
+//mehpt:hotpath
 func (h *Hierarchy) Insert(va addr.VirtAddr, s addr.PageSize) {
 	vpn := va.PageNumber(s)
 	h.l1[s].Insert(vpn)

@@ -1,0 +1,10 @@
+package scratchcheck
+
+func sink(vals ...any) {
+	_ = vals
+}
+
+//mehpt:hotpath
+func Spread(xs []any) {
+	sink(xs...)
+}

@@ -25,9 +25,32 @@
 // job at the end (and under "job_failures" in -json output) and make the
 // process exit non-zero. -fail-fast aborts the remaining jobs of a matrix
 // after the first failure (at the cost of run-to-run determinism).
+//
+// Crash consistency and recovery (see DESIGN.md):
+//
+//   - -checkpoint writes an atomic, checksummed snapshot of every
+//     multitenant machine after each completed round, one file per job
+//     (<path>.<org>.p<procs>.c<cores>); -resume continues each job from its
+//     snapshot when one exists. A resumed run's fingerprint is bit-identical
+//     to the uninterrupted run's.
+//   - -chaos runs the deterministic kill → recover → fingerprint-compare
+//     harness at the given kill plan (e.g. "remap.after:2", see
+//     inject.ParseKill) for every multitenant cell; a recovery that does not
+//     reproduce the baseline fingerprint exits non-zero. Requires
+//     -checkpoint.
+//   - -scrub runs the cross-layer invariant scrubber (internal/scrub) on
+//     every finished or recovered machine; any violation exits non-zero.
+//   - -timeout bounds the whole suite: once it expires, multitenant
+//     machines stop at their next round boundary, flush a final checkpoint,
+//     and the partial summary is printed before exiting with code 3.
+//
+// Exit codes: 0 success, 1 failures (jobs, determinism, chaos, or scrub),
+// 2 usage, 3 suite timeout with partial results.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +83,11 @@ func main() {
 		coresFlag  = flag.String("cores", "1,2,4,8", "comma-separated simulated core counts for the multitenant matrix")
 		procsFlag  = flag.String("processes", "8", "comma-separated simulated process counts for the multitenant matrix")
 		failFast   = flag.Bool("fail-fast", false, "abort each experiment's remaining jobs after the first failure (forfeits worker-count determinism)")
+		ckptPath   = flag.String("checkpoint", "", "base path for per-round multitenant checkpoints (one file per job: <path>.<org>.p<procs>.c<cores>)")
+		resume     = flag.Bool("resume", false, "resume multitenant jobs from their -checkpoint snapshots when present")
+		scrubFlag  = flag.Bool("scrub", false, "run the cross-layer invariant scrubber on every multitenant machine; violations exit non-zero")
+		chaosPlan  = flag.String("chaos", "", "kill plan for the multitenant crash-consistency harness, e.g. 'remap.after:2' (see inject.ParseKill); requires -checkpoint")
+		timeout    = flag.Duration("timeout", 0, "suite deadline; on expiry machines stop at a round boundary, flush checkpoints, and the process exits 3")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the suite run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof allocation profile (alloc_space) to this file at exit")
 		traceFile  = flag.String("trace", "", "write a runtime execution trace of the suite run to this file")
@@ -121,6 +149,26 @@ func main() {
 			exitf(2)
 		}
 	}
+	if *chaosPlan != "" {
+		if _, err := inject.ParseKill(*chaosPlan); err != nil {
+			fmt.Fprintf(os.Stderr, "mehpt-experiments: -chaos: %v\n", err)
+			exitf(2)
+		}
+		if *ckptPath == "" {
+			fmt.Fprintln(os.Stderr, "mehpt-experiments: -chaos requires -checkpoint (the recovery snapshot path)")
+			exitf(2)
+		}
+	}
+	if *resume && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "mehpt-experiments: -resume requires -checkpoint")
+		exitf(2)
+	}
+	suiteCtx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		suiteCtx, cancel = context.WithTimeout(suiteCtx, *timeout)
+		atExit = append(atExit, cancel)
+	}
 
 	// Axis lists for the multitenant matrix.
 	parseAxis := func(name, spec string) []int {
@@ -149,6 +197,11 @@ func main() {
 	o.Inject = *injectSpec
 	o.FailFast = *failFast
 	o.Failures = failures
+	o.Checkpoint = *ckptPath
+	o.Resume = *resume
+	o.Scrub = *scrubFlag
+	o.Chaos = *chaosPlan
+	o.Ctx = suiteCtx
 	var tally atomic.Uint64
 	o.AccessTally = &tally
 	meter := stats.NewAllocMeter()
@@ -228,6 +281,16 @@ func main() {
 		experiments.FprintMultiTenant(w, rows)
 		if bad := experiments.MultiTenantFingerprintsAgree(rows); len(bad) > 0 {
 			fmt.Fprintf(os.Stderr, "mehpt-experiments: multitenant determinism violation at %s\n",
+				strings.Join(bad, ", "))
+			exitf(1)
+		}
+		if bad := experiments.MultiTenantChaosOK(rows); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "mehpt-experiments: crash-consistency violation (recovery fingerprint diverges) at %s\n",
+				strings.Join(bad, ", "))
+			exitf(1)
+		}
+		if bad := experiments.MultiTenantScrubClean(rows); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "mehpt-experiments: invariant scrub violation at %s\n",
 				strings.Join(bad, ", "))
 			exitf(1)
 		}
@@ -342,6 +405,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  %s: %s%s: %s\n", jf.Experiment, jf.Job, kind, jf.Reason)
 		}
 		exitf(1)
+	}
+	if errors.Is(suiteCtx.Err(), context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "mehpt-experiments: suite deadline (%v) expired; partial results above, checkpoints flushed\n", *timeout)
+		exitf(3)
 	}
 	exitf(0)
 }

@@ -1,0 +1,47 @@
+package cache
+
+import "fmt"
+
+// CacheState is one level's tag array (verbatim, preserving LRU order) and
+// counters.
+type CacheState struct {
+	Tags  []uint64
+	Stats Stats
+}
+
+// HierarchyState is the serializable form of a Hierarchy.
+type HierarchyState struct {
+	Levels   [3]CacheState
+	DRAMHits uint64
+}
+
+// State returns a deep copy of the hierarchy's tags and counters.
+func (h *Hierarchy) State() HierarchyState {
+	st := HierarchyState{DRAMHits: h.dramHits}
+	for i := range h.levels {
+		c := &h.levels[i]
+		st.Levels[i] = CacheState{
+			Tags:  append([]uint64(nil), c.tags...),
+			Stats: c.stats,
+		}
+	}
+	return st
+}
+
+// RestoreHierarchy rebuilds a hierarchy from recorded state. cfg must match
+// the captured hierarchy's geometry — the tag arrays are restored verbatim,
+// so a size mismatch is a corruption, not a migration.
+func RestoreHierarchy(cfg HierarchyConfig, st HierarchyState) (*Hierarchy, error) {
+	h := NewHierarchy(cfg)
+	for i := range h.levels {
+		c := &h.levels[i]
+		if len(st.Levels[i].Tags) != len(c.tags) {
+			return nil, fmt.Errorf("cache: level %d has %d tag slots, snapshot carries %d",
+				i, len(c.tags), len(st.Levels[i].Tags))
+		}
+		copy(c.tags, st.Levels[i].Tags)
+		c.stats = st.Levels[i].Stats
+	}
+	h.dramHits = st.DRAMHits
+	return h, nil
+}

@@ -153,18 +153,7 @@ func Build(cfg Config) (*Table, error) {
 	if cfg.InitialEntries == 0 || cfg.InitialEntries&(cfg.InitialEntries-1) != 0 {
 		panic(fmt.Sprintf("cuckoo: initial entries %d must be a power of two", cfg.InitialEntries))
 	}
-	if cfg.UpsizeAt <= 0 {
-		cfg.UpsizeAt = 0.6
-	}
-	if cfg.DownsizeAt < 0 {
-		cfg.DownsizeAt = 0.2
-	}
-	if cfg.MaxKicks <= 0 {
-		cfg.MaxKicks = 32
-	}
-	if cfg.RehashBatch <= 0 {
-		cfg.RehashBatch = 1
-	}
+	cfg = normalizeConfig(cfg)
 	rng := cfg.Rand
 	if rng == nil {
 		rng = rand.New(rand.NewSource(int64(cfg.HashSeed) + 1))

@@ -1,0 +1,131 @@
+package cuckoo
+
+import "repro/internal/hashfn"
+
+// normalizeConfig applies the defaulting Build performs, shared with the
+// restore path so a restored table evaluates thresholds identically.
+func normalizeConfig(cfg Config) Config {
+	if cfg.UpsizeAt <= 0 {
+		cfg.UpsizeAt = 0.6
+	}
+	if cfg.DownsizeAt < 0 {
+		cfg.DownsizeAt = 0.2
+	}
+	if cfg.MaxKicks <= 0 {
+		cfg.MaxKicks = 32
+	}
+	if cfg.RehashBatch <= 0 {
+		cfg.RehashBatch = 1
+	}
+	return cfg
+}
+
+// WayState is one way's slot array, verbatim.
+type WayState struct {
+	Slots []Entry
+}
+
+// TableState is the serializable form of a Table. The hash family, mixer,
+// and RNG are not part of the state: the family is a pure function of the
+// Config's HashSeed, and the RNG is owned (and separately positioned) by
+// whoever supplied Config.Rand.
+type TableState struct {
+	Cur       []WayState
+	Next      []WayState // nil when no resize is in flight
+	RehashPtr []uint64
+	Occupied  uint64
+	Stats     Stats
+}
+
+func captureWays(ws []*way) []WayState {
+	if ws == nil {
+		return nil
+	}
+	out := make([]WayState, len(ws))
+	for i, w := range ws {
+		out[i].Slots = make([]Entry, len(w.slots))
+		copy(out[i].Slots, w.slots)
+	}
+	return out
+}
+
+func restoreWays(st []WayState, fns []hashfn.Func) []*way {
+	if st == nil {
+		return nil
+	}
+	out := make([]*way, len(st))
+	for i, ws := range st {
+		w := &way{slots: make([]Entry, len(ws.Slots)), fn: fns[i]}
+		copy(w.slots, ws.Slots)
+		out[i] = w
+	}
+	return out
+}
+
+// State returns a deep copy of the table's contents and counters.
+func (t *Table) State() TableState {
+	st := TableState{
+		Cur:       captureWays(t.cur),
+		Next:      captureWays(t.next),
+		RehashPtr: make([]uint64, len(t.rehashPtr)),
+		Occupied:  t.occupied,
+		Stats:     t.stats,
+	}
+	copy(st.RehashPtr, t.rehashPtr)
+	return st
+}
+
+// RestoreTable rebuilds a table from recorded state without invoking the
+// AllocWays hook — the physical memory behind the ways is already owned in
+// the restored allocator state. cfg must carry the same Ways/HashSeed as
+// the captured table (the hash family is re-derived from them) and, for
+// bit-identical resumption, a Rand repositioned to its captured draw
+// count.
+func RestoreTable(cfg Config, st TableState) *Table {
+	cfg = normalizeConfig(cfg)
+	rng := cfg.Rand
+	if rng == nil {
+		panic("cuckoo: RestoreTable requires an explicitly positioned Config.Rand")
+	}
+	t := &Table{
+		cfg:       cfg,
+		fns:       hashfn.Family(cfg.HashSeed, cfg.Ways),
+		rehashPtr: make([]uint64, len(st.RehashPtr)),
+		occupied:  st.Occupied,
+		stats:     st.Stats,
+		rng:       rng,
+	}
+	t.mixer = hashfn.NewMixer(t.fns)
+	t.cur = restoreWays(st.Cur, t.fns)
+	t.next = restoreWays(st.Next, t.fns)
+	copy(t.rehashPtr, st.RehashPtr)
+	return t
+}
+
+// ConcurrentTableState is the serializable form of a ConcurrentTable: the
+// inner table plus the read-path counters kept outside it.
+type ConcurrentTableState struct {
+	Table        TableState
+	ROLookups    uint64
+	ROProbeSlots uint64
+}
+
+// State captures the table under its read lock.
+func (c *ConcurrentTable) State() ConcurrentTableState {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return ConcurrentTableState{
+		Table:        c.t.State(),
+		ROLookups:    c.roLookups.Load(),
+		ROProbeSlots: c.roProbeSlots.Load(),
+	}
+}
+
+// RestoreConcurrent rebuilds a concurrent table from recorded state; see
+// RestoreTable for the cfg requirements.
+func RestoreConcurrent(cfg Config, st ConcurrentTableState) *ConcurrentTable {
+	c := &ConcurrentTable{t: RestoreTable(cfg, st.Table)}
+	c.roLookups.Store(st.ROLookups)
+	c.roProbeSlots.Store(st.ROProbeSlots)
+	return c
+}

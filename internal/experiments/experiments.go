@@ -21,6 +21,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -86,6 +87,29 @@ type Options struct {
 	// Name labels the experiment currently running in failure records; the
 	// CLI sets it before invoking each driver.
 	Name string
+
+	// Checkpoint, when non-empty, is the base path for multi-tenant round
+	// checkpoints; each job writes to <Checkpoint>.<org>.p<procs>.c<cores>
+	// after every completed round (atomic snapshot envelope, see
+	// internal/snapshot).
+	Checkpoint string
+	// Resume, with Checkpoint set, resumes each multi-tenant job from its
+	// checkpoint when one exists; a missing checkpoint starts fresh. A
+	// resumed job's fingerprint is bit-identical to the uninterrupted run's.
+	Resume bool
+	// Scrub runs the cross-layer invariant scrubber (internal/scrub) on
+	// every multi-tenant machine after it finishes (or recovers, under
+	// Chaos); violations are reported on the row.
+	Scrub bool
+	// Chaos, when non-empty, is a deterministic kill plan (inject.ParseKill,
+	// e.g. "remap.after:2") — each multi-tenant job runs the kill → recover
+	// → fingerprint-compare harness instead of a plain run. Requires
+	// Checkpoint.
+	Chaos string
+	// Ctx, if non-nil, bounds the suite: multi-tenant machines stop at the
+	// next round boundary once it is done, flush a final checkpoint (when
+	// Checkpoint is set), and report a partial row.
+	Ctx context.Context
 }
 
 // DefaultOptions returns the paper's configuration (full scale).

@@ -7,10 +7,13 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 
 	"repro/internal/runner"
+	"repro/internal/scrub"
 	"repro/internal/sim"
 	"repro/internal/tenant"
 )
@@ -23,6 +26,21 @@ type MultiTenantRow struct {
 	tenant.Result
 	JobFailed  bool   `json:"job_failed,omitempty"`
 	FailReason string `json:"fail_reason,omitempty"`
+
+	// Partial marks a row whose machine was stopped at a round boundary by
+	// Options.Ctx before finishing; its fingerprint covers the partial run
+	// and is excluded from the determinism check.
+	Partial bool `json:"partial,omitempty"`
+	// Resumed marks a row whose machine continued from an on-disk
+	// checkpoint rather than booting fresh.
+	Resumed bool `json:"resumed,omitempty"`
+	// Chaos carries the kill → recover → compare verdict when Options.Chaos
+	// is set.
+	Chaos *tenant.ChaosResult `json:"chaos,omitempty"`
+	// ScrubViolations holds the invariant scrubber's findings when
+	// Options.Scrub is set; empty means the machine's cross-layer state is
+	// coherent.
+	ScrubViolations []scrub.Violation `json:"scrub_violations,omitempty"`
 }
 
 // mtJob identifies one multi-tenant machine run. The seed is derived from
@@ -66,11 +84,14 @@ func MultiTenant(o Options, cores, processes []int) []MultiTenantRow {
 			Scale:  o.Scale,
 			Inject: o.Inject,
 		}
-		res, err := tenant.Run(cfg)
-		if err != nil {
-			return MultiTenantRow{}, err
+		ckpt := ""
+		if o.Checkpoint != "" {
+			ckpt = fmt.Sprintf("%s.%s.p%d.c%d", o.Checkpoint, j.org, j.procs, j.cores)
 		}
-		return MultiTenantRow{Result: *res}, nil
+		if o.Chaos != "" {
+			return o.runChaosJob(cfg, ckpt)
+		}
+		return o.runResilientJob(cfg, ckpt)
 	})
 	rows := make([]MultiTenantRow, len(envs))
 	for i, e := range envs {
@@ -92,16 +113,114 @@ func MultiTenant(o Options, cores, processes []int) []MultiTenantRow {
 	return rows
 }
 
+// runResilientJob executes one machine under the resilience options: resume
+// from a checkpoint when asked, checkpoint every completed round, stop at
+// the next round boundary once Ctx is done (flushing a final checkpoint),
+// and scrub the final state.
+func (o Options) runResilientJob(cfg tenant.Config, ckpt string) (MultiTenantRow, error) {
+	var row MultiTenantRow
+	var m *tenant.Machine
+	var err error
+	if o.Resume && ckpt != "" {
+		m, err = tenant.LoadMachine(cfg, ckpt)
+		if errors.Is(err, fs.ErrNotExist) {
+			m, err = tenant.NewMachine(cfg) // no checkpoint yet: clean start
+		} else if err == nil {
+			row.Resumed = true
+		}
+	} else {
+		m, err = tenant.NewMachine(cfg)
+	}
+	if err != nil {
+		return row, err
+	}
+	for !m.Done() {
+		if o.Ctx != nil && o.Ctx.Err() != nil {
+			row.Partial = true
+			break
+		}
+		if err := m.StepRound(); err != nil {
+			return row, err
+		}
+		if ckpt != "" {
+			if err := m.Checkpoint(ckpt); err != nil {
+				return row, fmt.Errorf("experiments: checkpointing %s: %w", ckpt, err)
+			}
+		}
+	}
+	row.Result = *m.Collect()
+	if o.Scrub {
+		row.ScrubViolations = scrub.Machine(m)
+	}
+	return row, nil
+}
+
+// runChaosJob executes the kill → recover → fingerprint-compare harness for
+// one machine and scrubs the recovered state.
+func (o Options) runChaosJob(cfg tenant.Config, ckpt string) (MultiTenantRow, error) {
+	var row MultiTenantRow
+	cr, err := tenant.RunChaos(cfg, o.Chaos, ckpt)
+	if err != nil {
+		return row, err
+	}
+	row.Result = *cr.Final.Collect()
+	if o.Scrub {
+		row.ScrubViolations = scrub.Machine(cr.Final)
+	}
+	cr.Final = nil // the machine must not leak into JSON or row copies
+	row.Chaos = cr
+	return row, nil
+}
+
+// MultiTenantChaosOK returns the labels of rows whose chaos harness failed
+// to reproduce the baseline fingerprint after kill + recovery (empty when
+// the crash-consistency contract holds; rows without a chaos verdict are
+// skipped).
+func MultiTenantChaosOK(rows []MultiTenantRow) []string {
+	var bad []string
+	for _, r := range rows {
+		if r.Chaos != nil && !r.Chaos.Match {
+			bad = append(bad, fmt.Sprintf("%s/p%d/c%d", r.Org, r.Processes, r.Cores))
+		}
+	}
+	return bad
+}
+
+// MultiTenantScrubClean returns the labels of rows whose invariant scrub
+// found violations (empty when every scrubbed machine is coherent).
+func MultiTenantScrubClean(rows []MultiTenantRow) []string {
+	var bad []string
+	for _, r := range rows {
+		if len(r.ScrubViolations) > 0 {
+			bad = append(bad, fmt.Sprintf("%s/p%d/c%d", r.Org, r.Processes, r.Cores))
+		}
+	}
+	return bad
+}
+
+// MultiTenantPartial reports how many rows were cut short by the suite
+// deadline.
+func MultiTenantPartial(rows []MultiTenantRow) int {
+	n := 0
+	for _, r := range rows {
+		if r.Partial {
+			n++
+		}
+	}
+	return n
+}
+
 // MultiTenantFingerprintsAgree verifies the determinism contract over a
 // finished matrix: within each (org, processes) cell, every core count
 // produced the same canonical fingerprint. It returns the offending rows'
-// labels, empty when the contract holds. Failed jobs are skipped (they
-// have no fingerprint to compare).
+// labels, empty when the contract holds. Failed and partial jobs are
+// skipped (a failed job has no fingerprint; a deadline-cut one fingerprints
+// only the rounds it completed).
 func MultiTenantFingerprintsAgree(rows []MultiTenantRow) []string {
 	want := map[string]string{} // "org/pN" -> fingerprint of first row seen
 	var bad []string
 	for _, r := range rows {
-		if r.JobFailed {
+		if r.JobFailed || r.Partial {
 			continue
 		}
 		cell := fmt.Sprintf("%s/p%d", r.Org, r.Processes)
@@ -132,14 +251,46 @@ func FprintMultiTenant(w io.Writer, rows []MultiTenantRow) {
 				failed++
 			}
 		}
-		fprintf(w, "%-8s %5d %5d %12d %12d %10d %10d %9d %8d  %.16s\n",
+		notes := ""
+		if r.Partial {
+			notes += " PARTIAL(deadline)"
+		}
+		if r.Resumed {
+			notes += " resumed"
+		}
+		if r.Chaos != nil {
+			verdict := "recovered=ok"
+			if !r.Chaos.Match {
+				verdict = "RECOVERY MISMATCH"
+			}
+			if !r.Chaos.Killed {
+				verdict = "kill never fired"
+			}
+			notes += fmt.Sprintf(" chaos[%s @r%d %s]", r.Chaos.Plan, r.Chaos.KilledAt, verdict)
+		}
+		if len(r.ScrubViolations) > 0 {
+			notes += fmt.Sprintf(" SCRUB:%d", len(r.ScrubViolations))
+		}
+		fprintf(w, "%-8s %5d %5d %12d %12d %10d %10d %9d %8d  %.16s%s\n",
 			r.Org, r.Processes, r.Cores, r.Walks, r.WalkCycles,
 			r.Shootdowns.Events, r.Shootdowns.IPIsDelivered,
-			r.Switches, failed, r.Fingerprint)
+			r.Switches, failed, r.Fingerprint, notes)
+		for _, v := range r.ScrubViolations {
+			fprintf(w, "         scrub violation: %s\n", v)
+		}
 	}
 	if bad := MultiTenantFingerprintsAgree(rows); len(bad) > 0 {
 		fprintf(w, "DETERMINISM VIOLATION: fingerprint diverges at %v\n", bad)
 	} else {
 		fprintf(w, "determinism: all cells bit-identical across core counts\n")
+	}
+	if bad := MultiTenantChaosOK(rows); len(bad) > 0 {
+		fprintf(w, "CRASH-CONSISTENCY VIOLATION: recovery fingerprint diverges at %v\n", bad)
+	}
+	if bad := MultiTenantScrubClean(rows); len(bad) > 0 {
+		fprintf(w, "SCRUB VIOLATION: invariants broken at %v\n", bad)
+	}
+	if n := MultiTenantPartial(rows); n > 0 {
+		fprintf(w, "partial: %d machine(s) stopped at the suite deadline (checkpoints flushed)\n", n)
 	}
 }

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/phys"
+	"repro/internal/snapshot"
 )
 
 // ErrInjected marks an allocation failure as injected (as opposed to a
@@ -97,6 +98,7 @@ func (p MinSize) String() string { return fmt.Sprintf("big=%d", p.Bytes) }
 // so decisions are reproducible and never shared across jobs.
 type Random struct {
 	p   float64
+	src *snapshot.Source // counting source under rng, for checkpoints
 	rng *rand.Rand
 }
 
@@ -104,7 +106,8 @@ type Random struct {
 // from a fresh generator seeded with seed. Each job must own its policy
 // (and therefore its generator); see the runner's RNG-ownership rule.
 func NewRandom(p float64, seed int64) *Random {
-	return &Random{p: p, rng: rand.New(rand.NewSource(seed))}
+	src := snapshot.NewSource(seed)
+	return &Random{p: p, src: src, rng: rand.New(src)}
 }
 
 // ShouldFail implements Policy. It draws exactly once per attempt, so the

@@ -1,0 +1,51 @@
+package inject
+
+import "repro/internal/snapshot"
+
+// InjectorState is the serializable position of an Injector: its counters
+// plus the stream positions of every stateful (Random) clause, in policy
+// order. Stateless clauses decide from the request alone and carry nothing.
+type InjectorState struct {
+	Attempts uint64
+	Injected uint64
+	RNG      []snapshot.SourceState
+}
+
+// visitRandoms walks the policy tree in clause order, calling f for every
+// Random member.
+func visitRandoms(p Policy, f func(*Random)) {
+	switch v := p.(type) {
+	case *Random:
+		f(v)
+	case Any:
+		for _, m := range v {
+			visitRandoms(m, f)
+		}
+	}
+}
+
+// State returns the injector's current position.
+func (in *Injector) State() InjectorState {
+	st := InjectorState{Attempts: in.stats.Attempts, Injected: in.stats.Injected}
+	visitRandoms(in.policy, func(r *Random) {
+		st.RNG = append(st.RNG, r.src.State())
+	})
+	return st
+}
+
+// Restore repositions the injector — counters and every Random clause's
+// generator — to the recorded state. The installed policy must have the
+// same clause structure as the captured one (it is rebuilt from the same
+// spec string); a clause-count mismatch reports false.
+func (in *Injector) Restore(st InjectorState) bool {
+	var randoms []*Random
+	visitRandoms(in.policy, func(r *Random) { randoms = append(randoms, r) })
+	if len(randoms) != len(st.RNG) {
+		return false
+	}
+	for i, r := range randoms {
+		r.src.Restore(st.RNG[i])
+	}
+	in.stats = Stats{Attempts: st.Attempts, Injected: st.Injected}
+	return true
+}

@@ -1,0 +1,33 @@
+package l2p
+
+import "repro/internal/addr"
+
+// WayState is the serializable accounting of one way's three subtables.
+type WayState struct {
+	Used  [addr.NumPageSizes]int
+	Steal addr.PageSize
+}
+
+// State is the serializable form of a Table.
+type State struct {
+	Ways []WayState
+	Peak int
+}
+
+// State returns a copy of the table's accounting.
+func (t *Table) State() State {
+	st := State{Ways: make([]WayState, len(t.ways)), Peak: t.peak}
+	for i, w := range t.ways {
+		st.Ways[i] = WayState{Used: w.used, Steal: w.steal}
+	}
+	return st
+}
+
+// Restore replaces the table's accounting with the recorded state.
+func (t *Table) Restore(st State) {
+	t.ways = make([]wayState, len(st.Ways))
+	for i, w := range st.Ways {
+		t.ways[i] = wayState{used: w.Used, steal: w.Steal}
+	}
+	t.peak = st.Peak
+}

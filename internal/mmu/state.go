@@ -1,0 +1,10 @@
+package mmu
+
+// RestoreStats reinstates translation counters captured by Stats. The
+// checkpoint serializes only the counters: the TLBs, CWCs, and PWCs are
+// flushed at every quantum boundary by Bind, so a round-boundary snapshot
+// never needs their contents.
+func (m *HPT) RestoreStats(s Stats) { m.stats = s }
+
+// RestoreStats reinstates translation counters captured by Stats.
+func (m *Radix) RestoreStats(s Stats) { m.stats = s }

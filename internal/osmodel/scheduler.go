@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/snapshot"
 	"repro/internal/tlb"
 )
 
@@ -166,6 +167,7 @@ type MultiCore struct {
 	// incumbent[c] is the pid resident on core c, or -1 when the core has
 	// run nothing yet.
 	incumbent []int
+	src       *snapshot.Source // counting source under rng, for checkpoints
 	rng       *rand.Rand
 	perm      []int // scratch for the per-round permutation
 	rounds    uint64
@@ -184,12 +186,14 @@ func NewMultiCore(costs SwitchCosts, cores int, seed int64, procs ...*Proc) *Mul
 	if cores < 1 {
 		cores = 1
 	}
+	src := snapshot.NewSource(seed)
 	m := &MultiCore{
 		costs:     costs,
 		cores:     cores,
 		procs:     procs,
 		incumbent: make([]int, cores),
-		rng:       rand.New(rand.NewSource(seed)),
+		src:       src,
+		rng:       rand.New(src),
 		perm:      make([]int, len(procs)),
 	}
 	for c := range m.incumbent {

@@ -1,0 +1,148 @@
+package phys
+
+// MemoryState is the serializable form of a buddy Memory. The free-list
+// stacks are preserved verbatim — including stale entries left behind by
+// coalescing — because stack order determines which block the next Alloc
+// grants, and bit-identical resumption requires the exact future
+// allocation sequence, not just equivalent free-space accounting.
+type MemoryState struct {
+	Frames    uint64
+	MaxOrder  int
+	HeadOrder []int8
+	FreeList  [][]uint64
+	FreeBlk   [MaxOrder + 1]uint64
+	FreePages uint64
+	Stats     Stats
+}
+
+// State returns a deep copy of the allocator's full state.
+func (m *Memory) State() MemoryState {
+	st := MemoryState{
+		Frames:    m.frames,
+		MaxOrder:  m.maxOrder,
+		HeadOrder: make([]int8, len(m.headOrder)),
+		FreeList:  make([][]uint64, len(m.freeList)),
+		FreeBlk:   m.freeBlk,
+		FreePages: m.freePages,
+		Stats:     m.Stats(), // deep-copies AllocsBySize
+	}
+	copy(st.HeadOrder, m.headOrder)
+	for o, list := range m.freeList {
+		if len(list) > 0 {
+			st.FreeList[o] = make([]uint64, len(list))
+			copy(st.FreeList[o], list)
+		}
+	}
+	return st
+}
+
+// RestoreMemory rebuilds an allocator from recorded state without touching
+// the normal constructor path (which would seed fresh free lists).
+func RestoreMemory(st MemoryState) *Memory {
+	m := &Memory{
+		frames:    st.Frames,
+		maxOrder:  st.MaxOrder,
+		headOrder: make([]int8, len(st.HeadOrder)),
+		freeList:  make([][]uint64, len(st.FreeList)),
+		freeBlk:   st.FreeBlk,
+		freePages: st.FreePages,
+	}
+	copy(m.headOrder, st.HeadOrder)
+	for o, list := range st.FreeList {
+		if len(list) > 0 {
+			m.freeList[o] = make([]uint64, len(list))
+			copy(m.freeList[o], list)
+		}
+	}
+	m.stats = st.Stats
+	m.stats.AllocsBySize = make(map[uint64]uint64, len(st.Stats.AllocsBySize))
+	for k, v := range st.Stats.AllocsBySize {
+		m.stats.AllocsBySize[k] = v
+	}
+	return m
+}
+
+// StripedState is the serializable form of a Striped pool. The injection
+// hook is not part of the state — the caller re-attaches its (separately
+// serialized) policy after restore.
+type StripedState struct {
+	StripeFrames uint64
+	AmbientFMFI  float64
+	Seq          uint64
+	Stripes      []MemoryState
+}
+
+// State captures the pool. Stripe locks are taken one at a time (the
+// stripe lock class is one-at-a-time by design); Seq is read under the
+// hook mutex it is guarded by.
+func (s *Striped) State() StripedState {
+	st := StripedState{
+		StripeFrames: s.stripeFrames,
+		AmbientFMFI:  s.AmbientFMFI,
+		Stripes:      make([]MemoryState, len(s.stripes)),
+	}
+	for i, sp := range s.stripes {
+		sp.mu.Lock()
+		st.Stripes[i] = sp.mem.State() //mehpt:allow lockorder -- checkpoint capture copies one stripe under its lock; callers accept the pause
+		sp.mu.Unlock()
+	}
+	s.hookMu.Lock()
+	st.Seq = s.seq
+	s.hookMu.Unlock()
+	return st
+}
+
+// RestoreStriped rebuilds a pool from recorded state. The global free-byte
+// counter is recomputed from the restored stripes; the injection hook
+// starts detached.
+func RestoreStriped(st StripedState) *Striped {
+	s := &Striped{
+		stripes:      make([]*stripe, len(st.Stripes)),
+		stripeFrames: st.StripeFrames,
+		model:        DefaultCostModel,
+		AmbientFMFI:  st.AmbientFMFI,
+	}
+	var free uint64
+	for i, ms := range st.Stripes {
+		mem := RestoreMemory(ms)
+		s.stripes[i] = &stripe{mem: mem}
+		free += mem.FreeBytes()
+	}
+	s.free.Store(free)
+	s.hookMu.Lock()
+	s.seq = st.Seq
+	s.hookMu.Unlock()
+	return s
+}
+
+// InspectStripes calls f with each stripe's Memory in turn, under that
+// stripe's lock. It is the scrubber's window into the pool: f must only
+// read (the Memory accessors are read-only) and must not touch other
+// stripes or the pool itself.
+func (s *Striped) InspectStripes(f func(idx int, m *Memory)) {
+	for i, sp := range s.stripes {
+		sp.mu.Lock()
+		f(i, sp.mem) //mehpt:allow lockorder -- scrubber inspection visits one stripe at a time under its lock
+		sp.mu.Unlock()
+	}
+}
+
+// StripeFrames returns the frame count of each stripe (global frame i
+// lives in stripe i/StripeFrames).
+func (s *Striped) StripeFrames() uint64 { return s.stripeFrames }
+
+// Frames returns the total frame count of the allocator's range.
+func (m *Memory) Frames() uint64 { return m.frames }
+
+// VisitFreeBlocks calls f for every live free block (head frame and
+// order). Stale free-list entries are skipped: a head is live iff
+// headOrder records it at that order. The scrubber recomputes the
+// allocator's free accounting from this walk and cross-checks it against
+// the counters.
+func (m *Memory) VisitFreeBlocks(f func(head uint64, order int)) {
+	for fr, o := range m.headOrder {
+		if o != noBlock {
+			f(uint64(fr), int(o))
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package pt
+
+// SlabState is the serializable form of a Slab. The free list is preserved
+// verbatim — its stack order determines which ids future Allocs hand out,
+// so bit-identical resumption requires the exact list, not just its
+// membership.
+type SlabState struct {
+	Clusters []Cluster
+	Free     []uint64
+}
+
+// State returns a deep copy of the slab's contents.
+func (s *Slab) State() SlabState {
+	st := SlabState{
+		Clusters: make([]Cluster, len(s.clusters)),
+		Free:     make([]uint64, len(s.free)),
+	}
+	copy(st.Clusters, s.clusters)
+	copy(st.Free, s.free)
+	return st
+}
+
+// Restore replaces the slab's contents with the recorded state.
+func (s *Slab) Restore(st SlabState) {
+	s.clusters = make([]Cluster, len(st.Clusters))
+	copy(s.clusters, st.Clusters)
+	s.free = make([]uint64, len(st.Free))
+	copy(s.free, st.Free)
+}

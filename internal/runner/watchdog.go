@@ -1,0 +1,137 @@
+package runner
+
+// The watchdog supervises real executions of deterministic jobs. The
+// simulation itself never reads the clock — wall-time here only decides
+// when to give up on or retry a job, never what the job computes, so
+// supervised runs keep the determinism contract: a job that completes
+// returns the same bits whether or not a watchdog was watching.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrDeadline reports a job attempt that exceeded its watchdog deadline.
+var ErrDeadline = errors.New("runner: job exceeded its deadline")
+
+// Watchdog bounds and retries one job: a per-attempt deadline, a straggler
+// callback when an attempt runs suspiciously long, and bounded
+// retry-with-backoff for transient failures. The zero value runs the job
+// once, inline, unbounded.
+type Watchdog struct {
+	// Deadline bounds each attempt; 0 means unbounded. An attempt that
+	// exceeds it fails with ErrDeadline. The attempt's goroutine is
+	// abandoned, not preempted — simulator jobs are pure CPU loops with no
+	// cancellation points, so the stuck goroutine finishes (or not) into a
+	// buffered channel and is collected; its result is discarded.
+	Deadline time.Duration
+	// StragglerAfter, when positive, invokes OnStraggler once per attempt
+	// that is still running after this long — the slow-straggler signal,
+	// softer than a deadline kill.
+	StragglerAfter time.Duration
+	OnStraggler    func(attempt int, running time.Duration)
+	// Retries is the number of additional attempts after the first.
+	Retries int
+	// Backoff is the wait before retry k (1-based): Backoff << (k-1),
+	// doubling per retry. 0 retries immediately.
+	Backoff time.Duration
+	// Transient gates retries: only errors it reports true for are
+	// retried. nil treats every error (ErrDeadline included) as transient.
+	Transient func(error) bool
+	// Sleep is the backoff seam; nil means time.Sleep. Tests inject a
+	// recorder to verify the schedule without waiting it out.
+	Sleep func(time.Duration)
+
+	// after is the timer seam for deadline/straggler watches; nil means
+	// time.After. In-package tests substitute controllable channels.
+	after func(time.Duration) <-chan time.Time
+}
+
+// Run executes job under the watchdog's policy and returns the first
+// permanent outcome: nil on success, the job's error when it is not
+// transient or retries are exhausted, ErrDeadline (wrapped, with the
+// attempt number) when every attempt timed out. The job receives its
+// 1-based attempt number — an abandoned attempt's goroutine may still be
+// live when its successor starts, so the number is the only reliable way
+// for a job to know which attempt it is.
+func (w Watchdog) Run(job func(attempt int) error) error {
+	attempts := 1 + w.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			w.sleep(w.Backoff << uint(attempt-2))
+		}
+		err = w.runOnce(attempt, job)
+		if err == nil {
+			return nil
+		}
+		if w.Transient != nil && !w.Transient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("runner: %d attempt(s) failed, last: %w", attempts, err)
+}
+
+func (w Watchdog) runOnce(attempt int, job func(attempt int) error) error {
+	if w.Deadline <= 0 && (w.StragglerAfter <= 0 || w.OnStraggler == nil) {
+		return job(attempt)
+	}
+	done := make(chan error, 1) // buffered: an abandoned attempt must not leak
+	start := w.now()
+	go func() { done <- job(attempt) }()
+
+	var deadline, straggle <-chan time.Time
+	if w.Deadline > 0 {
+		deadline = w.timerAfter(w.Deadline)
+	}
+	if w.StragglerAfter > 0 && w.OnStraggler != nil {
+		straggle = w.timerAfter(w.StragglerAfter)
+	}
+	for {
+		select {
+		case err := <-done:
+			return err
+		case <-straggle:
+			w.OnStraggler(attempt, w.since(start))
+			straggle = nil // once per attempt
+		case <-deadline:
+			return fmt.Errorf("%w: attempt %d ran past %v", ErrDeadline, attempt, w.Deadline)
+		}
+	}
+}
+
+func (w Watchdog) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if w.Sleep != nil {
+		w.Sleep(d)
+		return
+	}
+	time.Sleep(d) //mehpt:allow detrand -- retry backoff pacing; never feeds simulation state
+}
+
+func (w Watchdog) timerAfter(d time.Duration) <-chan time.Time {
+	if w.after != nil {
+		return w.after(d)
+	}
+	return time.After(d) //mehpt:allow detrand -- watchdog deadline/straggler timers; never feed simulation state
+}
+
+func (w Watchdog) now() time.Time {
+	if w.after != nil {
+		return time.Time{} // under a fake clock, elapsed time is not meaningful
+	}
+	return time.Now() //mehpt:allow detrand -- straggler elapsed-time reporting; never feeds simulation state
+}
+
+func (w Watchdog) since(start time.Time) time.Duration {
+	if w.after != nil {
+		return 0
+	}
+	return time.Since(start) //mehpt:allow detrand -- straggler elapsed-time reporting; never feeds simulation state
+}

@@ -1,0 +1,168 @@
+package runner
+
+// Watchdog proof obligations: success passes through untouched, transient
+// failures retry on the doubling backoff schedule, permanent failures and
+// exhausted budgets stop, deadlines surface ErrDeadline without waiting
+// for the job, and stragglers get flagged exactly once per attempt. Time
+// is faked through the sleep/after seams, so none of these tests wait on a
+// real clock.
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestZeroValueRunsOnce(t *testing.T) {
+	calls := 0
+	var w Watchdog
+	if err := w.Run(func(int) error { calls++; return nil }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("job ran %d times", calls)
+	}
+	wantErr := errors.New("boom")
+	if err := w.Run(func(int) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want wrapped boom", err)
+	}
+}
+
+func TestRetryBackoffSchedule(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	w := Watchdog{
+		Retries: 3,
+		Backoff: 10 * time.Millisecond,
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+	}
+	err := w.Run(func(int) error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("transient %d", calls)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("job ran %d times, want 3", calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("backoff %d = %v, want %v (doubling schedule)", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	calls := 0
+	boom := errors.New("still broken")
+	w := Watchdog{Retries: 2, Sleep: func(time.Duration) {}}
+	err := w.Run(func(int) error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want wrapped boom", err)
+	}
+	if calls != 3 {
+		t.Fatalf("job ran %d times, want 3", calls)
+	}
+}
+
+func TestPermanentErrorStopsRetries(t *testing.T) {
+	calls := 0
+	fatal := errors.New("corrupt state")
+	w := Watchdog{
+		Retries:   5,
+		Sleep:     func(time.Duration) {},
+		Transient: func(err error) bool { return !errors.Is(err, fatal) },
+	}
+	if err := w.Run(func(int) error { calls++; return fatal }); !errors.Is(err, fatal) {
+		t.Fatalf("got %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("permanent failure retried: %d calls", calls)
+	}
+}
+
+func TestDeadlineKillsAttempt(t *testing.T) {
+	fired := make(chan time.Time, 1)
+	fired <- time.Time{} // deadline pops immediately
+	release := make(chan struct{})
+	defer close(release)
+	w := Watchdog{
+		Deadline: time.Second,
+		after:    func(time.Duration) <-chan time.Time { return fired },
+	}
+	err := w.Run(func(int) error { <-release; return nil })
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("got %v, want ErrDeadline", err)
+	}
+}
+
+func TestDeadlineRetriesThenSucceeds(t *testing.T) {
+	var succeeded int32
+	release := make(chan struct{})
+	defer close(release)
+	issued := 0
+	w := Watchdog{
+		Deadline: time.Second,
+		Retries:  1,
+		Sleep:    func(time.Duration) {},
+		after: func(time.Duration) <-chan time.Time {
+			// Count our own invocations rather than reading attempt: the job
+			// goroutine increments it concurrently with this call.
+			ch := make(chan time.Time, 1)
+			issued++
+			if issued == 1 { // only the first attempt's deadline fires
+				ch <- time.Time{}
+			}
+			return ch
+		},
+	}
+	err := w.Run(func(attempt int) error {
+		if attempt == 1 {
+			<-release // hang: the fired deadline abandons this attempt
+			return nil
+		}
+		// Atomic: the abandoned first attempt's goroutine may still be live
+		// while this one runs.
+		atomic.StoreInt32(&succeeded, int32(attempt))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retry after deadline failed: %v", err)
+	}
+	if got := atomic.LoadInt32(&succeeded); got != 2 {
+		t.Fatalf("attempt %d succeeded, want the retry (2)", got)
+	}
+}
+
+func TestStragglerFlaggedOnce(t *testing.T) {
+	straggleCh := make(chan time.Time, 2)
+	straggleCh <- time.Time{}
+	straggleCh <- time.Time{} // a second pop must NOT re-flag
+	proceed := make(chan struct{})
+	var flagged []int
+	w := Watchdog{
+		StragglerAfter: time.Second,
+		OnStraggler: func(attempt int, _ time.Duration) {
+			flagged = append(flagged, attempt)
+			close(proceed)
+		},
+		after: func(time.Duration) <-chan time.Time { return straggleCh },
+	}
+	err := w.Run(func(int) error { <-proceed; return nil })
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(flagged) != 1 || flagged[0] != 1 {
+		t.Fatalf("straggler flagged %v, want exactly [1]", flagged)
+	}
+}

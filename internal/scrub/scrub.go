@@ -1,0 +1,183 @@
+// Package scrub checks cross-layer invariants of a multi-tenant machine:
+// that the buddy allocator's free accounting matches a walk of its free
+// lists, that no two owners (tenant page tables, mapped data pages, the
+// shared segment) claim the same physical frame, that every live mapping
+// resolves to an allocated in-pool frame, that each page-table
+// organization's internal structure is consistent (occupancy counters,
+// resize bits, chunk backing, tree accounting), and that every
+// TLB-resident translation is still backed by a live table entry.
+//
+// The scrubber is a read-only diagnostics pass over a quiescent machine —
+// run it at a round boundary, after a restore, or after a chaos recovery.
+// It reports violations; it never repairs. A healthy machine, including
+// one freshly recovered from a checkpoint, must scrub clean, and the
+// seeded-corruption tests prove each violation class actually fires when
+// its invariant is broken.
+//
+// scrub imports tenant (and reads through its inspection surface), never
+// the other way around.
+package scrub
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/phys"
+	"repro/internal/tenant"
+)
+
+// Violation classes, one per invariant family.
+const (
+	// ClassBuddy: a stripe's free-list walk disagrees with its counters —
+	// misaligned or out-of-range free blocks, overlapping free blocks, or
+	// free-byte/block-count accounting drift.
+	ClassBuddy = "buddy-accounting"
+	// ClassOwnership: two owners claim the same physical frame.
+	ClassOwnership = "frame-ownership"
+	// ClassMapping: a live translation points at a frame the allocator
+	// shows free, or outside the pool entirely.
+	ClassMapping = "mapping-resolution"
+	// ClassTable: a page-table organization's internal structure is
+	// inconsistent (occupancy, resize bits, chunk backing, tree nodes).
+	ClassTable = "table-structure"
+	// ClassTLB: a TLB-resident translation no longer resolves through the
+	// tables.
+	ClassTLB = "tlb-coherence"
+)
+
+// Violation is one invariant breach.
+type Violation struct {
+	Class string `json:"class"`
+	Msg   string `json:"msg"`
+}
+
+func (v Violation) String() string { return v.Class + ": " + v.Msg }
+
+// Machine scrubs a quiescent machine (call between rounds, never mid-step)
+// and returns every violation found, empty for a healthy machine.
+func Machine(m *tenant.Machine) []Violation {
+	var out []Violation
+	free := checkBuddy(m.Pool(), &out)
+	checkOwnership(m, free, &out)
+	for _, msg := range m.CheckTables() {
+		out = append(out, Violation{ClassTable, msg})
+	}
+	for _, msg := range m.CheckShardTLBs() {
+		out = append(out, Violation{ClassTLB, msg})
+	}
+	return out
+}
+
+// freeSet answers "is this global frame inside a live free block" without
+// materializing a per-frame set (the default pool is a million frames).
+// Free blocks are keyed by global head frame; buddy alignment makes
+// containment an ancestor walk over at most MaxOrder+1 aligned heads.
+type freeSet struct {
+	stripeFrames uint64
+	heads        map[uint64]int // global head frame -> order
+}
+
+func (fs *freeSet) contains(g uint64) bool {
+	local := g % fs.stripeFrames
+	base := g - local
+	for o := 0; o <= phys.MaxOrder; o++ {
+		h := local &^ (uint64(1)<<uint(o) - 1)
+		if ord, ok := fs.heads[base+h]; ok && local < h+uint64(1)<<uint(ord) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBuddy walks every stripe's live free blocks, validating alignment,
+// bounds, disjointness, and the free-byte and per-order block counters,
+// and returns the free set for the ownership pass.
+func checkBuddy(pool *phys.Striped, out *[]Violation) *freeSet {
+	fs := &freeSet{stripeFrames: pool.StripeFrames(), heads: make(map[uint64]int)}
+	var walkedBytes uint64
+	pool.InspectStripes(func(idx int, mem *phys.Memory) {
+		var stripeBytes uint64
+		counts := make([]uint64, phys.MaxOrder+1)
+		mem.VisitFreeBlocks(func(head uint64, order int) {
+			span := uint64(1) << uint(order)
+			if head%span != 0 {
+				*out = append(*out, Violation{ClassBuddy,
+					fmt.Sprintf("stripe %d: free block head %#x misaligned for order %d", idx, head, order)})
+			}
+			if head+span > mem.Frames() {
+				*out = append(*out, Violation{ClassBuddy,
+					fmt.Sprintf("stripe %d: free block %#x+%d runs past the stripe's %#x frames", idx, head, span, mem.Frames())})
+			}
+			fs.heads[uint64(idx)*fs.stripeFrames+head] = order
+			stripeBytes += span * phys.FrameBytes
+			counts[order]++
+		})
+		// Disjointness: any contained pair of free blocks is reachable by
+		// walking a head's strictly-larger aligned ancestors.
+		mem.VisitFreeBlocks(func(head uint64, order int) {
+			for o := order + 1; o <= phys.MaxOrder; o++ {
+				h := head &^ (uint64(1)<<uint(o) - 1)
+				if ord, ok := fs.heads[uint64(idx)*fs.stripeFrames+h]; ok && ord >= o {
+					*out = append(*out, Violation{ClassBuddy,
+						fmt.Sprintf("stripe %d: free block %#x/o%d lies inside free block %#x/o%d", idx, head, order, h, ord)})
+				}
+			}
+		})
+		if stripeBytes != mem.FreeBytes() {
+			*out = append(*out, Violation{ClassBuddy,
+				fmt.Sprintf("stripe %d: free-list walk sums %d bytes, counter says %d", idx, stripeBytes, mem.FreeBytes())})
+		}
+		for o, want := range mem.FreeBlockCounts() {
+			if o <= phys.MaxOrder && counts[o] != want {
+				*out = append(*out, Violation{ClassBuddy,
+					fmt.Sprintf("stripe %d: %d live order-%d blocks, counter says %d", idx, counts[o], o, want)})
+			}
+		}
+		walkedBytes += stripeBytes
+	})
+	if walkedBytes != pool.FreeBytes() {
+		*out = append(*out, Violation{ClassBuddy,
+			fmt.Sprintf("pool free-byte counter %d, stripes sum to %d", pool.FreeBytes(), walkedBytes)})
+	}
+	return fs
+}
+
+// checkOwnership claims every frame each owner holds — tenant page-table
+// blocks, mapped private data pages, shared-segment pages — and reports
+// double ownership, claims on free frames, and claims beyond the pool.
+func checkOwnership(m *tenant.Machine, free *freeSet, out *[]Violation) {
+	pool := m.Pool()
+	total := pool.StripeFrames() * uint64(pool.Stripes())
+	owner := make(map[uint64]string)
+	claim := func(class, who string, frame, span uint64) {
+		if frame+span > total {
+			*out = append(*out, Violation{class,
+				fmt.Sprintf("%s claims frames %#x+%d beyond the pool's %#x frames", who, frame, span, total)})
+			return
+		}
+		for f := frame; f < frame+span; f++ {
+			if prev, taken := owner[f]; taken {
+				*out = append(*out, Violation{ClassOwnership,
+					fmt.Sprintf("frame %#x owned by both %s and %s", f, prev, who)})
+			} else {
+				owner[f] = who
+			}
+			if free.contains(f) {
+				*out = append(*out, Violation{class,
+					fmt.Sprintf("%s holds frame %#x that the allocator shows free", who, f)})
+			}
+		}
+	}
+	m.VisitPageTableFrames(func(pid int, base addr.PPN, bytes uint64) {
+		claim(ClassOwnership, fmt.Sprintf("proc %d page table", pid),
+			uint64(base), (bytes+phys.FrameBytes-1)/phys.FrameBytes)
+	})
+	m.VisitDataMappings(func(pid int, vpn addr.VPN, s addr.PageSize, ppn addr.PPN) {
+		frame := uint64(ppn.Addr(s).PageNumber(addr.Page4K))
+		claim(ClassMapping, fmt.Sprintf("proc %d mapping %#x (%v)", pid, uint64(vpn), s),
+			frame, s.Bytes()/phys.FrameBytes)
+	})
+	m.VisitSharedMappings(func(page uint64, ppn addr.PPN) {
+		claim(ClassMapping, fmt.Sprintf("shared page %d", page), uint64(ppn), 1)
+	})
+}

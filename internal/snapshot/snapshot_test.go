@@ -1,0 +1,179 @@
+package snapshot
+
+// Envelope proof obligations: a snapshot round-trips bit-exactly, every
+// damage mode (wrong file, stale version, torn write, bit rot, schema
+// drift) is rejected with its typed sentinel, and Save publishes
+// atomically — a failed save never clobbers the previous snapshot.
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	Name  string
+	Vals  []uint64
+	Inner struct{ A, B int64 }
+}
+
+func samplePayload() payload {
+	p := payload{Name: "machine", Vals: []uint64{1, 2, 3, 1 << 60}}
+	p.Inner.A, p.Inner.B = -7, 42
+	return p
+}
+
+func savedPath(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "state.snap")
+	if err := Save(path, samplePayload()); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return path
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := savedPath(t)
+	var got payload
+	if err := Load(path, &got); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	want := samplePayload()
+	if got.Name != want.Name || len(got.Vals) != len(want.Vals) || got.Inner != want.Inner {
+		t.Fatalf("round trip mangled payload: %+v", got)
+	}
+	for i, v := range want.Vals {
+		if got.Vals[i] != v {
+			t.Fatalf("Vals[%d] = %d, want %d", i, got.Vals[i], v)
+		}
+	}
+}
+
+func TestOverwriteInPlace(t *testing.T) {
+	path := savedPath(t)
+	second := samplePayload()
+	second.Name = "second"
+	if err := Save(path, second); err != nil {
+		t.Fatalf("second Save: %v", err)
+	}
+	var got payload
+	if err := Load(path, &got); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Name != "second" {
+		t.Fatalf("expected the second snapshot, got %q", got.Name)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+}
+
+func TestRejectsNotASnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notes.txt")
+	if err := os.WriteFile(path, []byte("definitely not a snapshot, but long enough to carry a header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := Load(path, &got); !errors.Is(err, ErrNotSnapshot) {
+		t.Fatalf("got %v, want ErrNotSnapshot", err)
+	}
+}
+
+func TestRejectsVersionMismatch(t *testing.T) {
+	path := savedPath(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint32(raw[8:12], Version+1)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := Load(path, &got); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+}
+
+// TestRejectsTruncation cuts the file at every interesting boundary: inside
+// the header, inside the payload, and inside the checksum.
+func TestRejectsTruncation(t *testing.T) {
+	path := savedPath(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{0, 4, headerLen - 1, headerLen + 1, len(raw) - sumLen - 1, len(raw) - 1} {
+		if keep < 0 || keep >= len(raw) {
+			continue
+		}
+		cut := filepath.Join(t.TempDir(), "cut.snap")
+		if err := os.WriteFile(cut, raw[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got payload
+		if err := Load(cut, &got); !errors.Is(err, ErrTruncated) {
+			t.Errorf("keep=%d: got %v, want ErrTruncated", keep, err)
+		}
+	}
+}
+
+// TestRejectsBitFlips flips one bit at a spread of payload and checksum
+// offsets; every flip must surface as ErrChecksum (payload or checksum
+// damage), never as a silent mis-decode.
+func TestRejectsBitFlips(t *testing.T) {
+	path := savedPath(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipper := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 16; trial++ {
+		off := headerLen + flipper.Intn(len(raw)-headerLen)
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 1 << uint(flipper.Intn(8))
+		flipped := filepath.Join(t.TempDir(), "flip.snap")
+		if err := os.WriteFile(flipped, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got payload
+		if err := Load(flipped, &got); !errors.Is(err, ErrChecksum) {
+			t.Errorf("flip at %d: got %v, want ErrChecksum", off, err)
+		}
+	}
+}
+
+func TestRejectsSchemaDrift(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "drift.snap")
+	if err := Save(path, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	// A shape the payload cannot decode into: same envelope, wrong type.
+	var got struct{ Name int64 }
+	if err := Load(path, &got); !errors.Is(err, ErrDecode) {
+		t.Fatalf("got %v, want ErrDecode", err)
+	}
+}
+
+// TestFailedSaveKeepsPrevious proves atomic publication: saving an
+// unencodable state leaves the previously published snapshot intact.
+func TestFailedSaveKeepsPrevious(t *testing.T) {
+	path := savedPath(t)
+	if err := Save(path, func() {}); err == nil { // funcs are not gob-encodable
+		t.Fatal("Save of unencodable state succeeded")
+	}
+	var got payload
+	if err := Load(path, &got); err != nil {
+		t.Fatalf("previous snapshot damaged by failed save: %v", err)
+	}
+	if got.Name != samplePayload().Name {
+		t.Fatalf("previous snapshot content changed: %+v", got)
+	}
+}

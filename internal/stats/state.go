@@ -1,0 +1,35 @@
+package stats
+
+// HistogramState is the serializable form of a Histogram, used by the
+// checkpoint/restore layer (internal/snapshot callers) to carry histogram
+// contents across a crash.
+type HistogramState struct {
+	Counts map[int]uint64
+	Total  uint64
+	Sum    float64
+}
+
+// State returns a deep copy of the histogram's contents.
+func (h *Histogram) State() HistogramState {
+	st := HistogramState{Total: h.total, Sum: h.sum}
+	if len(h.counts) > 0 {
+		st.Counts = make(map[int]uint64, len(h.counts))
+		for v, c := range h.counts {
+			st.Counts[v] = c
+		}
+	}
+	return st
+}
+
+// Restore replaces the histogram's contents with the recorded state.
+func (h *Histogram) Restore(st HistogramState) {
+	h.counts = nil
+	if len(st.Counts) > 0 {
+		h.counts = make(map[int]uint64, len(st.Counts))
+		for v, c := range st.Counts {
+			h.counts[v] = c
+		}
+	}
+	h.total = st.Total
+	h.sum = st.Sum
+}

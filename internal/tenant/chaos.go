@@ -1,0 +1,98 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+
+	"repro/internal/inject"
+)
+
+// ChaosResult is one kill-resume-compare experiment.
+type ChaosResult struct {
+	Plan     string `json:"plan"`
+	Killed   bool   `json:"killed"`    // whether the armed crash point fired
+	KilledAt uint64 `json:"killed_at"` // rounds completed when the kill landed
+
+	Baseline string `json:"baseline"` // uninterrupted fingerprint
+	Resumed  string `json:"resumed"`  // fingerprint after kill + restore
+	Match    bool   `json:"match"`
+
+	// Final is the machine that produced the Resumed fingerprint, exposed
+	// so the caller can scrub its post-recovery state. Excluded from JSON.
+	Final *Machine `json:"-"`
+}
+
+// RunChaos proves crash consistency for one configuration and kill plan:
+// it runs the machine uninterrupted for the baseline fingerprint, reruns it
+// with a checkpoint written at every round boundary and a deterministic
+// kill armed per plan (inject.ParseKill), then recovers from the last
+// intact checkpoint, drives the recovered machine to completion, and
+// compares fingerprints. ckptPath is where the round checkpoints go; a
+// kill before the first checkpoint recovers by reconstructing round zero.
+func RunChaos(cfg Config, plan string, ckptPath string) (*ChaosResult, error) {
+	crasher, err := inject.ParseKill(plan)
+	if err != nil {
+		return nil, err
+	}
+
+	baseline, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.SetCrasher(crasher)
+	killed := false
+	var killedAt uint64
+	for !m.Done() {
+		if err := m.Checkpoint(ckptPath); err != nil {
+			if errors.Is(err, inject.ErrKilled) {
+				killed, killedAt = true, m.Rounds()
+				break
+			}
+			return nil, err
+		}
+		if err := m.StepRound(); err != nil {
+			if errors.Is(err, inject.ErrKilled) {
+				killed, killedAt = true, m.Rounds()
+				break
+			}
+			return nil, err
+		}
+	}
+
+	final := m
+	if killed {
+		// The killed machine is dead state; recover from the checkpoint,
+		// exactly as a restarted run would.
+		final, err = LoadMachine(cfg, ckptPath)
+		if errors.Is(err, fs.ErrNotExist) {
+			// Killed before the first checkpoint was written: recovery is a
+			// clean start.
+			final, err = NewMachine(cfg)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tenant: recovering after %q: %w", plan, err)
+		}
+		for !final.Done() {
+			if err := final.StepRound(); err != nil {
+				return nil, fmt.Errorf("tenant: resumed run after %q: %w", plan, err)
+			}
+		}
+	}
+
+	resumed := final.Collect()
+	return &ChaosResult{
+		Plan:     plan,
+		Killed:   killed,
+		KilledAt: killedAt,
+		Baseline: baseline.Fingerprint,
+		Resumed:  resumed.Fingerprint,
+		Match:    resumed.Fingerprint == baseline.Fingerprint,
+		Final:    final,
+	}, nil
+}

@@ -1,0 +1,116 @@
+package tenant_test
+
+// The chaos battery: for every registered kill point, kill a run
+// mid-flight, recover from the last intact checkpoint, and require the
+// resumed run's fingerprint to be bit-identical to the uninterrupted
+// baseline — then scrub the recovered machine for cross-layer invariant
+// violations. This is the tentpole acceptance criterion: crash anywhere,
+// resume, land on the same bits.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/inject"
+	"repro/internal/scrub"
+	"repro/internal/sim"
+	"repro/internal/tenant"
+)
+
+func chaosConfig(org sim.Org, cores int) tenant.Config {
+	return tenant.Config{
+		Org:             org,
+		Processes:       5,
+		Cores:           cores,
+		Seed:            99,
+		AccessesPerProc: 3000,
+		Quantum:         512,
+	}
+}
+
+// TestChaosKillMatrix kills at every registered crash point (first and a
+// later visit) and requires bit-identical recovery plus a clean scrub.
+func TestChaosKillMatrix(t *testing.T) {
+	cfg := chaosConfig(sim.MEHPT, 2)
+	for _, point := range inject.KillPoints() {
+		for _, visit := range []string{":1", ":3"} {
+			plan := point + visit
+			t.Run(plan, func(t *testing.T) {
+				res, err := tenant.RunChaos(cfg, plan, filepath.Join(t.TempDir(), "chaos.ckpt"))
+				if err != nil {
+					t.Fatalf("RunChaos: %v", err)
+				}
+				if !res.Killed {
+					t.Fatalf("kill point %s never fired", plan)
+				}
+				if !res.Match {
+					t.Fatalf("resumed fingerprint %s != baseline %s (killed at round %d)",
+						res.Resumed, res.Baseline, res.KilledAt)
+				}
+				if vs := scrub.Machine(res.Final); len(vs) != 0 {
+					for _, v := range vs {
+						t.Errorf("post-recovery scrub: %s", v)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosAcrossOrgsAndCores proves recovery holds for every organization
+// and core count, not just the ME-HPT default.
+func TestChaosAcrossOrgsAndCores(t *testing.T) {
+	for _, org := range []sim.Org{sim.MEHPT, sim.ECPT, sim.Radix} {
+		for _, cores := range []int{1, 3} {
+			t.Run(org.String()+"/"+string(rune('0'+cores))+"c", func(t *testing.T) {
+				cfg := chaosConfig(org, cores)
+				res, err := tenant.RunChaos(cfg, "quantum.end:4", filepath.Join(t.TempDir(), "chaos.ckpt"))
+				if err != nil {
+					t.Fatalf("RunChaos: %v", err)
+				}
+				if !res.Killed {
+					t.Fatal("kill never fired")
+				}
+				if !res.Match {
+					t.Fatalf("resumed fingerprint diverged (killed at round %d)", res.KilledAt)
+				}
+				if vs := scrub.Machine(res.Final); len(vs) != 0 {
+					for _, v := range vs {
+						t.Errorf("post-recovery scrub: %s", v)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosUnderInjection layers the kill harness over allocation-fault
+// injection: both adversaries at once, still bit-identical.
+func TestChaosUnderInjection(t *testing.T) {
+	cfg := chaosConfig(sim.MEHPT, 2)
+	cfg.Inject = "rate=0.001"
+	res, err := tenant.RunChaos(cfg, "remap.after:2", filepath.Join(t.TempDir(), "chaos.ckpt"))
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	if !res.Killed {
+		t.Fatal("kill never fired")
+	}
+	if !res.Match {
+		t.Fatalf("resumed fingerprint diverged under injection (killed at round %d)", res.KilledAt)
+	}
+	if vs := scrub.Machine(res.Final); len(vs) != 0 {
+		for _, v := range vs {
+			t.Errorf("post-recovery scrub: %s", v)
+		}
+	}
+}
+
+// TestChaosBadPlan rejects malformed and unknown kill plans.
+func TestChaosBadPlan(t *testing.T) {
+	for _, plan := range []string{"", "bogus:1", "round.begin:0", "round.begin:x", "round.begin"} {
+		if _, err := tenant.RunChaos(chaosConfig(sim.MEHPT, 1), plan, filepath.Join(t.TempDir(), "c.ckpt")); err == nil {
+			t.Errorf("plan %q accepted", plan)
+		}
+	}
+}

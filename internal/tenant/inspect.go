@@ -1,0 +1,133 @@
+package tenant
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/ecpt"
+	"repro/internal/mehpt"
+	"repro/internal/phys"
+	"repro/internal/radix"
+)
+
+// This file is the scrubber's window into a machine: read-only visitation
+// of frame ownership, live mappings, and translation-cache residency. The
+// invariant logic itself lives in internal/scrub, which imports tenant —
+// never the other way around.
+
+// Pool returns the machine-wide striped allocator for inspection.
+func (m *Machine) Pool() *phys.Striped { return m.pool }
+
+// frameVisitor and mappingVisitor are satisfied by all three page-table
+// organizations.
+type frameVisitor interface {
+	VisitOwnedFrames(f func(base addr.PPN, bytes uint64))
+}
+
+type mappingVisitor interface {
+	VisitMappings(f func(vpn addr.VPN, s addr.PageSize, ppn addr.PPN))
+}
+
+// VisitPageTableFrames reports every physical block owned by tenant page
+// tables as (pid, base PPN, bytes).
+func (m *Machine) VisitPageTableFrames(f func(pid int, base addr.PPN, bytes uint64)) {
+	for _, p := range m.procs {
+		pid := p.id
+		p.table.(frameVisitor).VisitOwnedFrames(func(base addr.PPN, bytes uint64) {
+			f(pid, base, bytes)
+		})
+	}
+}
+
+// VisitDataMappings reports every live private translation as (pid, vpn,
+// size, ppn).
+func (m *Machine) VisitDataMappings(f func(pid int, vpn addr.VPN, s addr.PageSize, ppn addr.PPN)) {
+	for _, p := range m.procs {
+		pid := p.id
+		p.table.(mappingVisitor).VisitMappings(func(vpn addr.VPN, s addr.PageSize, ppn addr.PPN) {
+			f(pid, vpn, s, ppn)
+		})
+	}
+}
+
+// VisitSharedMappings reports every shared-segment page as (page index,
+// frame). Every shared frame is one 4KB page.
+func (m *Machine) VisitSharedMappings(f func(page uint64, ppn addr.PPN)) {
+	base := m.shared.vpn(0)
+	m.shared.table.Range(func(key, val uint64) bool {
+		f(key-base, addr.PPN(val))
+		return true
+	})
+}
+
+// SharedPages returns the shared-segment page count.
+func (m *Machine) SharedPages() uint64 { return m.shared.pages }
+
+// CheckTables runs every organization's structural self-checks (occupancy
+// counters, resize bits, chunk backing, tree node accounting) across all
+// tenants, returning one message per violation prefixed with the owning
+// tenant.
+func (m *Machine) CheckTables() []string {
+	var bad []string
+	for _, p := range m.procs {
+		var msgs []string
+		switch t := p.table.(type) {
+		case *mehpt.PageTable:
+			msgs = t.CheckWays()
+		case *ecpt.PageTable:
+			msgs = t.CheckTables()
+		case *radix.PageTable:
+			msgs = t.CheckTree()
+		}
+		for _, msg := range msgs {
+			bad = append(bad, fmt.Sprintf("proc %d: %s", p.id, msg))
+		}
+	}
+	return bad
+}
+
+// CheckShardTLBs verifies TLB coherence: every translation resident in a
+// core's TLBs must still resolve — at the cached page size — through the
+// address space the shard is bound to, or through the shared segment's
+// concurrent table. Unbound shards (a freshly restored machine) carry
+// nothing and pass vacuously.
+func (m *Machine) CheckShardTLBs() []string {
+	var bad []string
+	for core, sh := range m.shards {
+		resolve := func(vpn addr.VPN, s addr.PageSize) bool { return false }
+		switch {
+		case sh.hpt != nil && sh.hpt.Table != nil:
+			table := sh.hpt.Table
+			resolve = func(vpn addr.VPN, s addr.PageSize) bool {
+				tr, ok := table.Translate(vpn.Addr(s))
+				return ok && tr.Size == s
+			}
+		case sh.rdx != nil && sh.rdx.Table != nil:
+			table := sh.rdx.Table
+			resolve = func(vpn addr.VPN, s addr.PageSize) bool {
+				_, ok := table.TranslateSize(vpn, s)
+				return ok
+			}
+		case sh.hpt == nil && sh.rdx == nil:
+			continue
+		default:
+			// Unbound shard: its TLBs were never filled (bind flushes), so
+			// any resident entry is already a violation; resolve stays false.
+		}
+		sh.tlbs().VisitEntries(func(vpn addr.VPN, s addr.PageSize, level int) {
+			if resolve(vpn, s) {
+				return
+			}
+			// Shared-segment pages translate through the concurrent table,
+			// not the per-process organization.
+			if s == addr.Page4K {
+				if _, ok := m.shared.table.Lookup(uint64(vpn)); ok {
+					return
+				}
+			}
+			bad = append(bad, fmt.Sprintf("core %d: L%d TLB holds %v page %#x with no live translation",
+				core, level, s, uint64(vpn)))
+		})
+	}
+	return bad
+}

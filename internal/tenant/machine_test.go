@@ -1,0 +1,205 @@
+package tenant
+
+// Checkpoint/restore proof obligations: a machine snapshotted at a round
+// boundary and restored from disk must finish with the bit-identical
+// fingerprint of the uninterrupted run — per organization, per core count,
+// with fault injection armed — and a snapshot restored under the wrong
+// identity must be refused with ErrMismatch.
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/sim"
+)
+
+// ckptConfig returns a small but non-trivial machine: enough accesses to
+// cross several rounds and drive table growth, remaps, and switches.
+func ckptConfig(org sim.Org, cores int) Config {
+	return Config{
+		Org:             org,
+		Processes:       6,
+		Cores:           cores,
+		Seed:            42,
+		AccessesPerProc: 3000,
+		Quantum:         512,
+	}
+}
+
+func runToEnd(t *testing.T, m *Machine) *Result {
+	t.Helper()
+	for !m.Done() {
+		if err := m.StepRound(); err != nil {
+			t.Fatalf("StepRound: %v", err)
+		}
+	}
+	return m.Collect()
+}
+
+// TestGoldenRoundTrip snapshots a machine mid-run, restores it from disk,
+// and requires the resumed fingerprint to equal both the interrupted
+// machine's own completion and a fresh uninterrupted Run.
+func TestGoldenRoundTrip(t *testing.T) {
+	for _, org := range []sim.Org{sim.MEHPT, sim.ECPT, sim.Radix} {
+		for _, cores := range []int{1, 3} {
+			t.Run(org.String()+"/"+string(rune('0'+cores))+"c", func(t *testing.T) {
+				cfg := ckptConfig(org, cores)
+				base, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+
+				m, err := NewMachine(cfg)
+				if err != nil {
+					t.Fatalf("NewMachine: %v", err)
+				}
+				for i := 0; i < 2; i++ {
+					if err := m.StepRound(); err != nil {
+						t.Fatalf("StepRound: %v", err)
+					}
+				}
+				path := filepath.Join(t.TempDir(), "mid.ckpt")
+				if err := m.Checkpoint(path); err != nil {
+					t.Fatalf("Checkpoint: %v", err)
+				}
+
+				cont := runToEnd(t, m).Fingerprint
+				if cont != base.Fingerprint {
+					t.Fatalf("stepped machine diverged from Run: %s vs %s", cont, base.Fingerprint)
+				}
+
+				restored, err := LoadMachine(cfg, path)
+				if err != nil {
+					t.Fatalf("LoadMachine: %v", err)
+				}
+				res := runToEnd(t, restored).Fingerprint
+				if res != base.Fingerprint {
+					t.Fatalf("restored machine diverged: %s vs %s", res, base.Fingerprint)
+				}
+			})
+		}
+	}
+}
+
+// TestRoundTripUnderInjection proves the injector's generators and counters
+// cross the checkpoint: an injected run resumed mid-run must reproduce the
+// uninterrupted injected fingerprint.
+func TestRoundTripUnderInjection(t *testing.T) {
+	// rate=0.001 at this scale fails some tenants and spares others, so the
+	// checkpoint carries both failed ProcResults and live generators.
+	cfg := ckptConfig(sim.MEHPT, 2)
+	cfg.Inject = "rate=0.001"
+
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.StepRound(); err != nil {
+			t.Fatalf("StepRound: %v", err)
+		}
+	}
+	if m.Done() {
+		t.Fatal("machine finished before the checkpoint; pick a gentler policy")
+	}
+	path := filepath.Join(t.TempDir(), "inj.ckpt")
+	if err := m.Checkpoint(path); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	restored, err := LoadMachine(cfg, path)
+	if err != nil {
+		t.Fatalf("LoadMachine: %v", err)
+	}
+	if got := runToEnd(t, restored).Fingerprint; got != base.Fingerprint {
+		t.Fatalf("injected restore diverged: %s vs %s", got, base.Fingerprint)
+	}
+}
+
+// TestRestoreMismatch proves identity cross-checks refuse a snapshot
+// restored under the wrong configuration.
+func TestRestoreMismatch(t *testing.T) {
+	cfg := ckptConfig(sim.ECPT, 2)
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	if err := m.StepRound(); err != nil {
+		t.Fatalf("StepRound: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "id.ckpt")
+	if err := m.Checkpoint(path); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	for name, mut := range map[string]func(*Config){
+		"org":   func(c *Config) { c.Org = sim.MEHPT },
+		"seed":  func(c *Config) { c.Seed++ },
+		"procs": func(c *Config) { c.Processes++ },
+		"cores": func(c *Config) { c.Cores++ },
+	} {
+		bad := cfg
+		mut(&bad)
+		if _, err := LoadMachine(bad, path); !errors.Is(err, ErrMismatch) {
+			t.Errorf("%s mismatch: got %v, want ErrMismatch", name, err)
+		}
+	}
+}
+
+// TestStaleTLBDetection plants a translation in a bound core's TLB that no
+// table backs and expects the coherence check to report it. This is the
+// white-box seed for the scrubber's tlb-coherence class (the shards are
+// unexported, so the seeding lives here).
+func TestStaleTLBDetection(t *testing.T) {
+	for _, org := range []sim.Org{sim.MEHPT, sim.Radix} {
+		t.Run(org.String(), func(t *testing.T) {
+			m, err := NewMachine(ckptConfig(org, 2))
+			if err != nil {
+				t.Fatalf("NewMachine: %v", err)
+			}
+			for i := 0; i < 2; i++ {
+				if err := m.StepRound(); err != nil {
+					t.Fatalf("StepRound: %v", err)
+				}
+			}
+			if bad := m.CheckShardTLBs(); len(bad) != 0 {
+				t.Fatalf("healthy machine reports TLB violations: %v", bad)
+			}
+			// A VA far outside every tenant's address space and the shared
+			// segment: resident in the TLB, backed by nothing.
+			m.shards[0].tlbs().Insert(addr.VirtAddr(0x7f12_3456_7000), addr.Page4K)
+			if bad := m.CheckShardTLBs(); len(bad) == 0 {
+				t.Fatal("stale TLB entry not detected")
+			}
+		})
+	}
+}
+
+// TestStuckDetection corrupts the serialized live count and expects the
+// restored machine's first idle round to surface ErrStuck instead of
+// spinning forever.
+func TestStuckDetection(t *testing.T) {
+	cfg := ckptConfig(sim.Radix, 1)
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	res := runToEnd(t, m)
+	if res == nil {
+		t.Fatal("no result")
+	}
+	st := m.State()
+	st.Live = 1 // drifted live count: claims a tenant still runs
+	corrupt, err := RestoreMachine(cfg, st)
+	if err != nil {
+		t.Fatalf("RestoreMachine: %v", err)
+	}
+	if err := corrupt.StepRound(); !errors.Is(err, ErrStuck) {
+		t.Fatalf("got %v, want ErrStuck", err)
+	}
+}

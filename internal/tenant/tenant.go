@@ -49,7 +49,6 @@ import (
 	"repro/internal/cuckoo"
 	"repro/internal/ecpt"
 	"repro/internal/hashfn"
-	"repro/internal/inject"
 	"repro/internal/mehpt"
 	"repro/internal/mmu"
 	"repro/internal/osmodel"
@@ -57,6 +56,7 @@ import (
 	"repro/internal/radix"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 	"repro/internal/tlb"
 	"repro/internal/workload"
@@ -262,6 +262,12 @@ type process struct {
 	rng   *rand.Rand // shared-overlay draws, private to this tenant
 	left  uint64
 
+	// Counting sources under the tenant's generators, so a checkpoint can
+	// record exact stream positions: overlaySrc feeds rng, tableSrc feeds
+	// the page-table config's Rand (nil for radix, which draws nothing).
+	overlaySrc *snapshot.Source
+	tableSrc   *snapshot.Source
+
 	res ProcResult
 }
 
@@ -312,6 +318,10 @@ type sharedRegion struct {
 	view  phys.Source
 	pages uint64
 	rng   *rand.Rand // remap picks, owned by the shared-region manager
+
+	// Counting sources under the region's generators (see process).
+	tableSrc *snapshot.Source
+	remapSrc *snapshot.Source
 }
 
 func (s *sharedRegion) vpn(page uint64) uint64 {
@@ -321,75 +331,19 @@ func (s *sharedRegion) vpn(page uint64) uint64 {
 // Run executes one multi-tenant machine to completion and returns its
 // result. It never panics on memory pressure: a tenant whose fault cannot
 // be serviced is marked failed and descheduled while the machine carries
-// the remaining tenants to completion (tenant isolation).
+// the remaining tenants to completion (tenant isolation). Run is the
+// one-shot wrapper over the resumable Machine (see machine.go).
 func Run(cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-
-	pool := phys.NewStriped(cfg.MemBytes, cfg.Stripes, cfg.FMFI)
-
-	specs := workload.Specs(cfg.Scale)
-	procs := make([]*process, cfg.Processes)
-	schedProcs := make([]*osmodel.Proc, cfg.Processes)
-	for pid := range procs {
-		p, err := newProcess(cfg, pid, specs[pid%len(specs)], pool)
-		if err != nil {
-			return nil, err
-		}
-		procs[pid] = p
-		schedProcs[pid] = &osmodel.Proc{ID: pid, PT: p.table}
-	}
-
-	shared, err := newShared(cfg, pool)
+	m, err := NewMachine(cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	// Fault injection arms only after boot: construction-time allocations
-	// (initial ways, the shared premap) are machine setup, not tenant
-	// activity, and injecting there would fail the whole machine rather
-	// than exercise tenant isolation.
-	if cfg.Inject != "" {
-		policy, perr := inject.Parse(cfg.Inject, runner.DeriveSubSeed(cfg.Seed, "inject", 0))
-		if perr != nil {
-			return nil, fmt.Errorf("tenant: %w", perr)
-		}
-		inject.AttachStriped(pool, policy)
-	}
-
-	shards := make([]*shard, cfg.Cores)
-	for c := range shards {
-		if cfg.Org == sim.Radix {
-			shards[c] = &shard{rdx: mmu.NewRadix(nil, nil)}
-		} else {
-			shards[c] = &shard{hpt: mmu.NewHPT(nil, nil)}
+	for !m.Done() {
+		if err := m.StepRound(); err != nil {
+			return nil, err
 		}
 	}
-
-	sched := osmodel.NewMultiCore(osmodel.DefaultSwitchCosts(), cfg.Cores,
-		runner.DeriveSubSeed(cfg.Seed, "sched", 0), schedProcs...)
-
-	var sd stats.Shootdowns
-	live := cfg.Processes
-	for live > 0 {
-		for _, pid := range sched.NextRound() {
-			p := procs[pid]
-			if p.left == 0 {
-				continue
-			}
-			coreIdx, _, _ := sched.Visit(pid)
-			sh := shards[coreIdx]
-			// Canonical cold start: rebind and flush unconditionally, so
-			// quantum state never depends on what this core ran before.
-			sh.bind(p)
-			runQuantum(cfg, p, sh, shared)
-			if p.left == 0 {
-				live--
-			}
-		}
-		remapRound(cfg, shared, procs, shards, sched, &sd)
-	}
-
-	return collect(cfg, procs, shards, shared, pool, sched, sd), nil
+	return m.Collect(), nil
 }
 
 // newProcess builds one tenant: its page table over a pool view, OS layer,
@@ -397,20 +351,23 @@ func Run(cfg Config) (*Result, error) {
 func newProcess(cfg Config, pid int, spec workload.Spec, pool *phys.Striped) (*process, error) {
 	procSeed := runner.DeriveSubSeed(cfg.Seed, "proc", uint64(pid))
 	view := pool.View(uint64(pid))
+	overlaySrc := snapshot.NewSource(runner.DeriveSubSeed(procSeed, "overlay", 0))
 	p := &process{
-		id:    pid,
-		spec:  spec,
-		cache: cache.NewHierarchy(tenantCacheConfig()),
-		trace: spec.NewTrace(runner.DeriveSubSeed(procSeed, "trace", 0), cfg.AccessesPerProc),
-		rng:   rand.New(rand.NewSource(runner.DeriveSubSeed(procSeed, "overlay", 0))),
-		left:  cfg.AccessesPerProc,
+		id:         pid,
+		spec:       spec,
+		cache:      cache.NewHierarchy(tenantCacheConfig()),
+		trace:      spec.NewTrace(runner.DeriveSubSeed(procSeed, "trace", 0), cfg.AccessesPerProc),
+		rng:        rand.New(overlaySrc),
+		overlaySrc: overlaySrc,
+		left:       cfg.AccessesPerProc,
 	}
 	p.res = ProcResult{PID: pid, Workload: spec.Name}
 	hashSeed := uint64(procSeed)*2654435761 + 12345
 	switch cfg.Org {
 	case sim.MEHPT:
 		tc := mehpt.DefaultConfig(hashSeed)
-		tc.Rand = rand.New(rand.NewSource(runner.DeriveSubSeed(procSeed, "table", 0)))
+		p.tableSrc = snapshot.NewSource(runner.DeriveSubSeed(procSeed, "table", 0))
+		tc.Rand = rand.New(p.tableSrc)
 		pt, err := mehpt.NewPageTable(view, tc)
 		if err != nil {
 			return nil, fmt.Errorf("tenant: proc %d: %w", pid, err)
@@ -418,7 +375,8 @@ func newProcess(cfg Config, pid int, spec workload.Spec, pool *phys.Striped) (*p
 		p.table, p.hpt = pt, pt
 	case sim.ECPT:
 		tc := ecpt.DefaultConfig(hashSeed)
-		tc.Rand = rand.New(rand.NewSource(runner.DeriveSubSeed(procSeed, "table", 0)))
+		p.tableSrc = snapshot.NewSource(runner.DeriveSubSeed(procSeed, "table", 0))
+		tc.Rand = rand.New(p.tableSrc)
 		pt, err := ecpt.NewPageTable(view, tc)
 		if err != nil {
 			return nil, fmt.Errorf("tenant: proc %d: %w", pid, err)
@@ -438,22 +396,32 @@ func newProcess(cfg Config, pid int, spec workload.Spec, pool *phys.Striped) (*p
 	return p, nil
 }
 
+// sharedCuckooConfig is the shared segment's table geometry, shared by the
+// construction and restore paths so both derive the identical hash family.
+func sharedCuckooConfig(sharedSeed int64, rng *rand.Rand) cuckoo.Config {
+	return cuckoo.Config{
+		Ways:           3,
+		InitialEntries: 64,
+		MaxKicks:       32,
+		HashSeed:       uint64(sharedSeed)*2654435761 + 12345,
+		Rand:           rng, //mehpt:allow randowner -- the region's own counted source (fresh at boot, repositioned on restore), never shared
+	}
+}
+
 // newShared builds and premaps the shared segment. Premapping drives the
 // concurrent table through its growth path (serialized resizes) before the
 // first round.
 func newShared(cfg Config, pool *phys.Striped) (*sharedRegion, error) {
 	sharedSeed := runner.DeriveSubSeed(cfg.Seed, "shared", 0)
+	tableSrc := snapshot.NewSource(runner.DeriveSubSeed(sharedSeed, "table", 0))
+	remapSrc := snapshot.NewSource(runner.DeriveSubSeed(sharedSeed, "remap", 0))
 	s := &sharedRegion{
-		table: cuckoo.NewConcurrent(cuckoo.Config{
-			Ways:           3,
-			InitialEntries: 64,
-			MaxKicks:       32,
-			HashSeed:       uint64(sharedSeed)*2654435761 + 12345,
-			Rand:           rand.New(rand.NewSource(runner.DeriveSubSeed(sharedSeed, "table", 0))),
-		}),
-		view:  pool.View(^uint64(0)),
-		pages: cfg.SharedPages,
-		rng:   rand.New(rand.NewSource(runner.DeriveSubSeed(sharedSeed, "remap", 0))),
+		table:    cuckoo.NewConcurrent(sharedCuckooConfig(sharedSeed, rand.New(tableSrc))),
+		view:     pool.View(^uint64(0)),
+		pages:    cfg.SharedPages,
+		rng:      rand.New(remapSrc),
+		tableSrc: tableSrc,
+		remapSrc: remapSrc,
 	}
 	for page := uint64(0); page < s.pages; page++ {
 		ppn, _, err := s.view.Alloc(4 * addr.KB)

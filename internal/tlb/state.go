@@ -1,0 +1,28 @@
+package tlb
+
+import "repro/internal/addr"
+
+// VisitEntries calls f for every VPN currently resident in the TLB. Tags
+// store VPN+1 with 0 marking empty, and empties are a suffix of each set.
+func (t *TLB) VisitEntries(f func(vpn addr.VPN)) {
+	for s := uint64(0); s < t.sets; s++ {
+		base := s * uint64(t.ways)
+		for _, tag := range t.tags[base : base+uint64(t.ways)] {
+			if tag == 0 {
+				break
+			}
+			f(addr.VPN(tag - 1))
+		}
+	}
+}
+
+// VisitEntries calls f for every resident translation in the hierarchy,
+// tagged with its page size and level (1 or 2). The scrubber uses it to
+// prove every cached translation still resolves in the bound page table.
+func (h *Hierarchy) VisitEntries(f func(vpn addr.VPN, s addr.PageSize, level int)) {
+	for s := range h.l1 {
+		size := addr.PageSize(s)
+		h.l1[s].VisitEntries(func(vpn addr.VPN) { f(vpn, size, 1) })
+		h.l2[s].VisitEntries(func(vpn addr.VPN) { f(vpn, size, 2) })
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/pt"
+	"repro/internal/snapshot"
 )
 
 // Kind selects the access-pattern family.
@@ -176,6 +177,7 @@ func (s Spec) TouchedPageVAs(f func(va addr.VirtAddr) bool) {
 // of n virtual addresses following the spec's pattern.
 type Trace struct {
 	spec    Spec
+	src     *snapshot.Source // counting source under rng, for checkpoints
 	rng     *rand.Rand
 	n       uint64
 	emitted uint64
@@ -186,7 +188,44 @@ type Trace struct {
 
 // NewTrace creates a trace of n accesses with the given seed.
 func (s Spec) NewTrace(seed int64, n uint64) *Trace {
-	return &Trace{spec: s, rng: rand.New(rand.NewSource(seed)), n: n}
+	src := snapshot.NewSource(seed)
+	return &Trace{spec: s, src: src, rng: rand.New(src), n: n}
+}
+
+// TraceState is the serializable position of a Trace: the generator stream
+// position plus the sequential cursor. The Spec and length are construction
+// parameters and must match on restore.
+type TraceState struct {
+	N       uint64
+	Emitted uint64
+	CurPage uint64
+	CurOff  uint64
+	RNG     snapshot.SourceState
+}
+
+// State returns the trace's current position.
+func (t *Trace) State() TraceState {
+	return TraceState{
+		N:       t.n,
+		Emitted: t.emitted,
+		CurPage: t.curPage,
+		CurOff:  t.curOff,
+		RNG:     t.src.State(),
+	}
+}
+
+// RestoreTrace recreates a trace of spec at the recorded position.
+func (s Spec) RestoreTrace(st TraceState) *Trace {
+	src := snapshot.RestoreSource(st.RNG)
+	return &Trace{
+		spec:    s,
+		src:     src,
+		rng:     rand.New(src),
+		n:       st.N,
+		emitted: st.Emitted,
+		curPage: st.CurPage,
+		curOff:  st.CurOff,
+	}
 }
 
 // Len returns the total number of accesses the trace will produce.

@@ -6,8 +6,12 @@
 //	go run ./cmd/mehpt-lint ./...
 //
 // Findings print as file:line:col: message and make the process exit 1;
-// -json switches the report to a machine-readable array on stdout for
-// editor and CI integrations. Exit codes are part of the interface:
+// -json switches the report to a machine-readable object on stdout for
+// editor and CI integrations: {"findings": [...], "analyzers": [...]},
+// where each analyzers entry carries the per-analyzer finding count, the
+// number of diagnostics a //mehpt:allow directive suppressed, and wall
+// time in milliseconds (see README.md § mehpt-lint for the full schema).
+// Exit codes are part of the interface:
 //
 //	0  no findings
 //	1  findings reported
@@ -76,7 +80,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mehpt-lint: %v\n", err)
 		os.Exit(2)
 	}
-	diags, loader, err := analysis.Lint(mod, patterns, analyzers)
+	diags, loader, metrics, err := analysis.Lint(mod, patterns, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mehpt-lint: %v\n", err)
 		os.Exit(2)
@@ -101,9 +105,27 @@ func main() {
 		findings = append(findings, finding{d.Analyzer, name, pos.Line, pos.Column, d.Message})
 	}
 	if *jsonFlag {
+		type analyzerStats struct {
+			Name       string  `json:"name"`
+			Findings   int     `json:"findings"`
+			Suppressed int     `json:"suppressed"`
+			ElapsedMS  float64 `json:"elapsed_ms"`
+		}
+		report := struct {
+			Findings  []finding       `json:"findings"`
+			Analyzers []analyzerStats `json:"analyzers"`
+		}{Findings: findings}
+		for _, m := range metrics {
+			report.Analyzers = append(report.Analyzers, analyzerStats{
+				Name:       m.Name,
+				Findings:   m.Findings,
+				Suppressed: m.Suppressed,
+				ElapsedMS:  float64(m.Elapsed.Microseconds()) / 1000,
+			})
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(report); err != nil {
 			fmt.Fprintf(os.Stderr, "mehpt-lint: %v\n", err)
 			os.Exit(2)
 		}

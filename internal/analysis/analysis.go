@@ -18,6 +18,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Analyzer describes one invariant checker.
@@ -29,6 +30,14 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings via pass.Reportf.
 	Run func(*Pass) error
+	// Finish, when non-nil, runs once after every package in the run has
+	// been analyzed. It is the hook for whole-run audits (staleallow's
+	// dead-waiver scan) that cannot be decided package-by-package because
+	// cross-package fact queries mark waivers used in other packages.
+	// Finish diagnostics are NOT subject to //mehpt:allow suppression: a
+	// finding about a directive is fixed by editing the directive, not by
+	// stacking another waiver on top of it.
+	Finish func(*FinishPass) error
 }
 
 // Pass is the per-(analyzer, package) unit of work.
@@ -47,11 +56,45 @@ type Pass struct {
 	diags *[]Diagnostic
 }
 
+// FinishPass is the whole-run view handed to Analyzer.Finish.
+type FinishPass struct {
+	Analyzer *Analyzer
+	Loader   *Loader
+	// Packages are the packages analyzed during the run, in analysis order.
+	Packages []*Package
+	// Ran names every analyzer that participated in the run (including
+	// this one). Audits consult it so a subset run (-analyzers a,b) never
+	// judges waivers for rules that did not execute.
+	Ran []string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a whole-run finding at pos.
+func (p *FinishPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Diagnostic is one finding, attributed to the analyzer that produced it.
 type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+}
+
+// Metrics accumulates one analyzer's run statistics for the -json report:
+// surviving findings, diagnostics a //mehpt:allow directive suppressed,
+// and wall time spent inside the analyzer (Run over every package, plus
+// Finish).
+type Metrics struct {
+	Name       string
+	Findings   int
+	Suppressed int
+	Elapsed    time.Duration
 }
 
 // Reportf records a finding at pos.
@@ -67,7 +110,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // suppressed by //mehpt:allow directives, and appends diagnostics for
 // malformed directives. Diagnostics come back sorted by position.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	allows, diags := CollectAllows(pkg.Fset, pkg.Files)
+	return runAnalyzers(pkg, analyzers, nil)
+}
+
+// runAnalyzers is RunAnalyzers with an optional per-analyzer metrics
+// accumulator (keyed by analyzer name; entries must pre-exist).
+func runAnalyzers(pkg *Package, analyzers []*Analyzer, metrics map[string]*Metrics) ([]Diagnostic, error) {
+	allows, diags := pkg.loader.AllowsFor(pkg)
 	ann := CollectAnnotations(pkg)
 	diags = append(diags, ann.Malformed...)
 	facts := &Facts{loader: pkg.loader}
@@ -83,15 +132,64 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Ann:       ann,
 			diags:     &raw,
 		}
-		if err := a.Run(pass); err != nil {
+		start := time.Now()
+		err := a.Run(pass)
+		m := metrics[a.Name]
+		if m != nil {
+			m.Elapsed += time.Since(start)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 		for _, d := range raw {
 			stmtLine := StmtStartLine(pkg.Fset, pkg.Files, d.Pos)
-			if !allows.Allows(pkg.Fset, d.Pos, stmtLine, a.Name) {
+			if allows.Allows(pkg.Fset, d.Pos, stmtLine, a.Name) {
+				if m != nil {
+					m.Suppressed++
+				}
+			} else {
 				diags = append(diags, d)
+				if m != nil {
+					m.Findings++
+				}
 			}
 		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// RunFinishers invokes the Finish hook of every analyzer that has one,
+// after all packages of the run have been through runAnalyzers. Finish
+// diagnostics bypass //mehpt:allow suppression by design.
+func RunFinishers(loader *Loader, pkgs []*Package, analyzers []*Analyzer, metrics map[string]*Metrics) ([]Diagnostic, error) {
+	ran := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		ran = append(ran, a.Name)
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		var raw []Diagnostic
+		fp := &FinishPass{
+			Analyzer: a,
+			Loader:   loader,
+			Packages: pkgs,
+			Ran:      ran,
+			diags:    &raw,
+		}
+		start := time.Now()
+		err := a.Finish(fp)
+		if m := metrics[a.Name]; m != nil {
+			m.Elapsed += time.Since(start)
+			m.Findings += len(raw)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s (finish): %w", a.Name, err)
+		}
+		diags = append(diags, raw...)
 	}
 	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, nil

@@ -35,25 +35,51 @@ type TB interface {
 }
 
 // Run loads each golden package, applies the analyzer (including the
-// //mehpt:allow suppression pass), and reports mismatches on t.
+// //mehpt:allow suppression pass), and reports mismatches on t. All
+// packages are loaded through one shared loader before the analyzer's
+// Finish hook (if any) runs, so whole-run audits like staleallow see the
+// same multi-package view they get under the real driver. Expectations
+// are checked globally: a `want` comment in any listed package may be
+// satisfied by a per-package or a Finish diagnostic.
 func Run(t TB, a *analysis.Analyzer, testdata string, pkgPaths ...string) {
 	t.Helper()
+	RunSuite(t, []*analysis.Analyzer{a}, testdata, pkgPaths...)
+}
+
+// RunSuite is Run for several analyzers at once: every listed analyzer
+// runs over every golden package, and the combined diagnostics (including
+// Finish-phase ones) are checked against the want expectations. Audits
+// like staleallow need this — a waiver only counts as used when the
+// analyzer it waives actually runs alongside.
+func RunSuite(t TB, analyzers []*analysis.Analyzer, testdata string, pkgPaths ...string) {
+	t.Helper()
 	loader := analysis.NewLoader(analysis.TestdataResolver(testdata + "/src"))
+	var pkgs []*analysis.Package
+	var diags []analysis.Diagnostic
+	var expects []*expectation
 	for _, path := range pkgPaths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			t.Fatalf("loading %s: %v", path, err)
 		}
-		diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+		pkgs = append(pkgs, pkg)
+		ds, err := analysis.RunAnalyzers(pkg, analyzers)
 		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+			t.Fatalf("running analyzers on %s: %v", path, err)
 		}
-		expects, err := collectExpectations(pkg)
+		diags = append(diags, ds...)
+		es, err := collectExpectations(pkg)
 		if err != nil {
 			t.Fatalf("parsing want comments in %s: %v", path, err)
 		}
-		check(t, pkg, diags, expects)
+		expects = append(expects, es...)
 	}
+	fds, err := analysis.RunFinishers(loader, pkgs, analyzers, nil)
+	if err != nil {
+		t.Fatalf("running finish hooks: %v", err)
+	}
+	diags = append(diags, fds...)
+	check(t, loader.Fset, diags, expects)
 }
 
 // expectation is one unmatched `want` regexp at a file line.
@@ -96,11 +122,11 @@ func collectExpectations(pkg *analysis.Package) ([]*expectation, error) {
 	return expects, nil
 }
 
-func check(t TB, pkg *analysis.Package, diags []analysis.Diagnostic, expects []*expectation) {
+func check(t TB, fset *token.FileSet, diags []analysis.Diagnostic, expects []*expectation) {
 	t.Helper()
 	matched := make([]bool, len(expects))
 	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		found := false
 		for i, e := range expects {
 			if !matched[i] && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(d.Message) {

@@ -30,15 +30,32 @@ import (
 //	//mehpt:locked <expr>       on a function or method: the named lock
 //	                            (spelled as it appears in the body, e.g.
 //	                            "t.mu") is held by the caller on entry.
+//	//mehpt:transient -- <why>  on a struct field of a type with a
+//	                            State()/Restore pair: the field is
+//	                            deliberately not serialized — it is
+//	                            re-derived or re-attached on restore
+//	                            (config, allocator handles, hash mixers,
+//	                            repositioned RNGs). The reason clause is
+//	                            mandatory: statecover accepts the field as
+//	                            covered only with a recorded justification.
 //
-// Unlike //mehpt:allow, annotations need no reason clause — they state a
+// Unlike //mehpt:allow, annotations (except transient, whose reason states
+// how the field is reconstituted) need no reason clause — they state a
 // contract, not an exception.
 const (
 	guardedByPrefix = "//mehpt:guardedby"
 	orderedPrefix   = "//mehpt:ordered"
 	hotpathPrefix   = "//mehpt:hotpath"
 	lockedPrefix    = "//mehpt:locked"
+	transientPrefix = "//mehpt:transient"
 )
+
+// KnownAnnotations lists every valid //mehpt: comment head, for the
+// staleallow analyzer's unknown-annotation check. allow carries optional
+// :file/:package scope suffixes, validated separately by CollectAllows.
+func KnownAnnotations() []string {
+	return []string{"allow", "guardedby", "ordered", "hotpath", "locked", "transient"}
+}
 
 // Annotations is the per-package annotation table.
 type Annotations struct {
@@ -52,6 +69,9 @@ type Annotations struct {
 	// Locked maps a function to the lock expressions (receiver-relative,
 	// e.g. "t.mu") its callers must hold.
 	Locked map[*types.Func][]string
+	// Transient marks struct fields deliberately excluded from their
+	// type's State() capture (statecover).
+	Transient map[*types.Var]bool
 
 	// Malformed annotations (a guardedby/ordered/locked with no operand)
 	// surface as "directive" diagnostics on the annotated package.
@@ -61,10 +81,11 @@ type Annotations struct {
 // CollectAnnotations builds the annotation table for one package.
 func CollectAnnotations(pkg *Package) *Annotations {
 	an := &Annotations{
-		Guarded: map[*types.Var]string{},
-		Ordered: map[*types.Var]string{},
-		Hot:     map[*types.Func]bool{},
-		Locked:  map[*types.Func][]string{},
+		Guarded:   map[*types.Var]string{},
+		Ordered:   map[*types.Var]string{},
+		Hot:       map[*types.Func]bool{},
+		Locked:    map[*types.Func][]string{},
+		Transient: map[*types.Var]bool{},
 	}
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -130,6 +151,16 @@ func (an *Annotations) collectFields(pkg *Package, fields *ast.FieldList, iface 
 						an.Guarded[v] = arg
 					}
 				}
+			case !iface && strings.HasPrefix(c.Text, transientPrefix):
+				if !transientWellFormed(c.Text) {
+					an.malformed(c, `want "//mehpt:transient -- <how the field is reconstituted on restore>"`)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						an.Transient[v] = true
+					}
+				}
 			case !iface && strings.HasPrefix(c.Text, orderedPrefix):
 				arg := annotationArg(c.Text, orderedPrefix)
 				if arg == "" {
@@ -152,6 +183,20 @@ func (an *Annotations) malformed(c *ast.Comment, want string) {
 		Analyzer: "directive",
 		Message:  "malformed annotation: " + want,
 	})
+}
+
+// transientWellFormed checks a //mehpt:transient comment carries a
+// nonempty "-- reason" clause and nothing between the head and the dashes.
+func transientWellFormed(text string) bool {
+	rest := text[len(transientPrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return false // e.g. //mehpt:transientX — not this annotation
+	}
+	head, reason, found := strings.Cut(rest, "--")
+	if !found || strings.TrimSpace(head) != "" {
+		return false
+	}
+	return strings.TrimSpace(reason) != ""
 }
 
 // annotationArg returns the single operand of an annotation comment, or ""

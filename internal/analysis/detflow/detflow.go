@@ -1,0 +1,53 @@
+// Package detflow flags dataflow from nondeterministic sources into
+// reproducibility sinks. detrand bans calling the wall clock and the
+// global RNG outside sanctioned owners, and maporder flags order-leaking
+// iteration shapes — detflow closes the gap between them: it follows the
+// VALUE. A timestamp laundered through strconv, a map-iteration product
+// accumulated into a struct, or an address-derived uintptr is tracked
+// through assignments, expressions, and cross-package call summaries
+// (internal/analysis/taint.go) until it reaches a fingerprint
+// computation, the stats layer, or snapshot state — the three places
+// where a nondeterministic bit forks the run-to-run contract.
+//
+// The engine tracks explicit flows only (no control dependence, no
+// cross-goroutine channel flow); the runtime fingerprint determinism gate
+// remains the backstop for what it cannot see. Packages under
+// repro/internal/analysis are exempt, as with detrand: lint tooling
+// legitimately measures its own wall time.
+package detflow
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the detflow rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "detflow",
+	Doc: "flag dataflow from nondeterministic sources (wall clock, global " +
+		"rand, map/select ordering, pointer addresses) into fingerprints, " +
+		"stats, or snapshot state",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if path == "repro/internal/analysis" || strings.HasPrefix(path, "repro/internal/analysis/") {
+		return nil
+	}
+	hits, err := pass.Facts.TaintHits(path)
+	if err != nil {
+		return err
+	}
+	var flat []analysis.SinkHit
+	for _, hs := range hits {
+		flat = append(flat, hs...)
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].Pos < flat[j].Pos })
+	for _, h := range flat {
+		pass.Reportf(h.Pos, "%s (rule detflow)", analysis.TaintDesc(h))
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, detflow.Analyzer, "testdata", "repro/internal/dftest")
+}

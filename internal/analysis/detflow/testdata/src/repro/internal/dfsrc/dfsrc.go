@@ -1,0 +1,16 @@
+// Package dfsrc holds the cross-package nondeterminism source for the
+// detflow golden suite: the taint must travel through Stamp's exported
+// summary into the calling package.
+package dfsrc
+
+import "time"
+
+// Stamp returns the wall clock — nondeterministic by construction.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Scale is a pure passthrough: taint in, taint out, no source of its own.
+func Scale(v int64, k int64) int64 {
+	return v * k
+}

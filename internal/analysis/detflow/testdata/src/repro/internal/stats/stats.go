@@ -1,0 +1,6 @@
+// Package stats is a golden-suite stub standing in for the repository's
+// stats layer: any exported call with arguments is a detflow sink.
+package stats
+
+// Record folds a measurement into the aggregate.
+func Record(v int64) {}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -22,14 +23,34 @@ import (
 // without a recorded justification is itself a diagnostic. The analyzer
 // list names the rules being waived (e.g. "detrand" for the -progress
 // wall-clock timer in internal/experiments).
+//
+// Every (directive, analyzer) pair is accounted for: the staleallow
+// analyzer audits the run afterwards and flags any pair that suppressed
+// zero diagnostics, so waivers cannot outlive the finding they excuse.
 const directivePrefix = "//mehpt:allow"
 
+// AllowEntry is one (directive, analyzer) pair: a single //mehpt:allow
+// comment naming two analyzers produces two entries. Entries record how
+// often they suppressed a diagnostic, which is what the staleallow audit
+// keys off.
+type AllowEntry struct {
+	Pos      token.Pos // position of the directive comment
+	Scope    string    // "line", "file", or "package"
+	Analyzer string    // the analyzer this entry waives
+	used     int       // diagnostics (or reach sites) suppressed
+}
+
+// Used reports whether the entry suppressed at least one diagnostic (or
+// pruned at least one reach-engine site) during the run.
+func (e *AllowEntry) Used() bool { return e.used > 0 }
+
 // AllowSet records which analyzers have been waived, per line, per file,
-// and package-wide.
+// and package-wide. Lookups mark the matching entry used.
 type AllowSet struct {
-	line map[allowKey]bool
-	file map[fileKey]bool
-	pkg  map[string]bool
+	line    map[allowKey]*AllowEntry
+	file    map[fileKey]*AllowEntry
+	pkg     map[string]*AllowEntry
+	entries []*AllowEntry
 }
 
 type allowKey struct {
@@ -49,9 +70,9 @@ type fileKey struct {
 // pseudo-analyzer name "directive".
 func CollectAllows(fset *token.FileSet, files []*ast.File) (*AllowSet, []Diagnostic) {
 	allows := &AllowSet{
-		line: map[allowKey]bool{},
-		file: map[fileKey]bool{},
-		pkg:  map[string]bool{},
+		line: map[allowKey]*AllowEntry{},
+		file: map[fileKey]*AllowEntry{},
+		pkg:  map[string]*AllowEntry{},
 	}
 	var diags []Diagnostic
 	for _, f := range files {
@@ -77,19 +98,29 @@ func CollectAllows(fset *token.FileSet, files []*ast.File) (*AllowSet, []Diagnos
 				_ = reason // the reason is for humans; presence is all we check
 				pos := fset.Position(c.Pos())
 				for _, n := range names {
+					e := &AllowEntry{Pos: c.Pos(), Scope: scope, Analyzer: n}
+					allows.entries = append(allows.entries, e)
 					switch scope {
 					case "line":
-						allows.line[allowKey{pos.Filename, pos.Line, n}] = true
+						allows.line[allowKey{pos.Filename, pos.Line, n}] = e
 					case "file":
-						allows.file[fileKey{pos.Filename, n}] = true
+						allows.file[fileKey{pos.Filename, n}] = e
 					case "package":
-						allows.pkg[n] = true
+						allows.pkg[n] = e
 					}
 				}
 			}
 		}
 	}
 	return allows, diags
+}
+
+// Entries returns every (directive, analyzer) pair collected from the
+// package, in source order. The staleallow audit walks them after the run.
+func (a *AllowSet) Entries() []*AllowEntry {
+	es := append([]*AllowEntry(nil), a.entries...)
+	sort.SliceStable(es, func(i, j int) bool { return es[i].Pos < es[j].Pos })
+	return es
 }
 
 // cutScope strips a ":file" / ":package" scope suffix off the directive
@@ -134,22 +165,27 @@ func splitDirective(rest string) (names []string, reason string, ok bool) {
 // the same line or the line above. stmtLine, when nonzero, is the starting
 // line of the statement enclosing pos; a directive on or above that line
 // also matches, so findings on the continuation lines of a multi-line
-// statement honour a directive written above the statement.
+// statement honour a directive written above the statement. A match is
+// recorded on the winning entry for the staleallow audit.
 func (a *AllowSet) Allows(fset *token.FileSet, pos token.Pos, stmtLine int, analyzer string) bool {
-	if a.pkg[analyzer] {
+	if e := a.pkg[analyzer]; e != nil {
+		e.used++
 		return true
 	}
 	p := fset.Position(pos)
-	if a.file[fileKey{p.Filename, analyzer}] {
+	if e := a.file[fileKey{p.Filename, analyzer}]; e != nil {
+		e.used++
 		return true
 	}
-	if a.line[allowKey{p.Filename, p.Line, analyzer}] ||
-		a.line[allowKey{p.Filename, p.Line - 1, analyzer}] {
-		return true
-	}
+	lines := []int{p.Line, p.Line - 1}
 	if stmtLine != 0 && stmtLine != p.Line {
-		return a.line[allowKey{p.Filename, stmtLine, analyzer}] ||
-			a.line[allowKey{p.Filename, stmtLine - 1, analyzer}]
+		lines = append(lines, stmtLine, stmtLine-1)
+	}
+	for _, ln := range lines {
+		if e := a.line[allowKey{p.Filename, ln, analyzer}]; e != nil {
+			e.used++
+			return true
+		}
 	}
 	return false
 }

@@ -70,24 +70,44 @@ func ExpandPatterns(mod Module, patterns []string) ([]string, error) {
 
 // Lint loads every package named by patterns and applies the analyzers,
 // returning the surviving (non-suppressed) diagnostics sorted by position
-// within each package.
-func Lint(mod Module, patterns []string, analyzers []*Analyzer) ([]Diagnostic, *Loader, error) {
+// within each package, followed by whole-run Finish diagnostics (e.g. the
+// staleallow dead-waiver audit). Metrics come back one entry per analyzer,
+// in suite order.
+func Lint(mod Module, patterns []string, analyzers []*Analyzer) ([]Diagnostic, *Loader, []Metrics, error) {
 	paths, err := ExpandPatterns(mod, patterns)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	loader := NewLoader(ModuleResolver(mod.Path, mod.Dir))
+	metrics := make(map[string]*Metrics, len(analyzers))
+	order := make([]*Metrics, 0, len(analyzers))
+	for _, a := range analyzers {
+		m := &Metrics{Name: a.Name}
+		metrics[a.Name] = m
+		order = append(order, m)
+	}
 	var diags []Diagnostic
+	var pkgs []*Package
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		ds, err := RunAnalyzers(pkg, analyzers)
+		pkgs = append(pkgs, pkg)
+		ds, err := runAnalyzers(pkg, analyzers, metrics)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		diags = append(diags, ds...)
 	}
-	return diags, loader, nil
+	fds, err := RunFinishers(loader, pkgs, analyzers, metrics)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	diags = append(diags, fds...)
+	out := make([]Metrics, len(order))
+	for i, m := range order {
+		out[i] = *m
+	}
+	return diags, loader, out, nil
 }

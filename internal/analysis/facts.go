@@ -46,6 +46,10 @@ type FuncSummary struct {
 	Blocks   []Site
 	Calls    []CallSite
 	Dynamics []DynSite
+	// Decl/File retain the summarized syntax so flow-sensitive passes
+	// (the taint engine in taint.go) can re-walk the body on demand.
+	Decl *ast.FuncDecl
+	File *ast.File
 }
 
 // PkgFacts is everything the fact engine knows about one package: the
@@ -57,6 +61,8 @@ type PkgFacts struct {
 	Funcs  map[*types.Func]*FuncSummary
 	Ann    *Annotations
 	allows *AllowSet
+	// taint caches per-function taint summaries (taint.go).
+	taint map[*types.Func]*TaintSummary
 }
 
 // SiteWaived reports whether the site carries an //mehpt:allow for the
@@ -174,8 +180,9 @@ func computeFacts(pkg *Package) *PkgFacts {
 		Pkg:   pkg,
 		Funcs: map[*types.Func]*FuncSummary{},
 		Ann:   CollectAnnotations(pkg),
+		taint: map[*types.Func]*TaintSummary{},
 	}
-	pf.allows, _ = CollectAllows(pkg.Fset, pkg.Files)
+	pf.allows, _ = pkg.loader.AllowsFor(pkg)
 	for _, f := range pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -186,7 +193,7 @@ func computeFacts(pkg *Package) *PkgFacts {
 			if fn == nil {
 				continue
 			}
-			sum := &FuncSummary{Fn: fn}
+			sum := &FuncSummary{Fn: fn, Decl: fd, File: f}
 			collectSites(pkg, f, fd.Body, sum)
 			pf.Funcs[fn] = sum
 		}

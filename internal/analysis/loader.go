@@ -42,17 +42,42 @@ type Loader struct {
 	pkgs    map[string]*Package
 	loading map[string]bool
 	facts   map[string]*PkgFacts
+	allows  map[string]*allowCache
+	// taintWalk guards against cycles in cross-package taint summary
+	// computation (taint.go); it lives here because the recursion can
+	// cross package boundaries.
+	taintWalk map[*types.Func]bool
+}
+
+type allowCache struct {
+	set   *AllowSet
+	diags []Diagnostic
 }
 
 // NewLoader returns a loader with an empty cache.
 func NewLoader(resolve func(string) (string, error)) *Loader {
 	return &Loader{
-		Fset:    token.NewFileSet(),
-		Resolve: resolve,
-		pkgs:    map[string]*Package{},
-		loading: map[string]bool{},
-		facts:   map[string]*PkgFacts{},
+		Fset:      token.NewFileSet(),
+		Resolve:   resolve,
+		pkgs:      map[string]*Package{},
+		loading:   map[string]bool{},
+		facts:     map[string]*PkgFacts{},
+		allows:    map[string]*allowCache{},
+		taintWalk: map[*types.Func]bool{},
 	}
+}
+
+// AllowsFor returns the package's //mehpt:allow set, computing and caching
+// it on first use. The single shared instance is what makes the staleallow
+// audit sound: every consumer (the driver's suppression pass, the fact
+// engine's site waivers) marks usage on the same entries.
+func (l *Loader) AllowsFor(pkg *Package) (*AllowSet, []Diagnostic) {
+	if c, ok := l.allows[pkg.Path]; ok {
+		return c.set, c.diags
+	}
+	set, diags := CollectAllows(pkg.Fset, pkg.Files)
+	l.allows[pkg.Path] = &allowCache{set: set, diags: diags}
+	return set, diags
 }
 
 // Load parses and type-checks the package at the given import path.

@@ -1,0 +1,469 @@
+// Package statecover proves checkpoint completeness statically: for every
+// type with a State() capture method it checks that (1) each stored field
+// of the type is read somewhere in the capture walk or carries an explicit
+// //mehpt:transient -- <reason> annotation, (2) each field of the
+// corresponding XxxState struct is populated during capture, (3) each
+// XxxState field is consumed somewhere in the restore walk, and (4) no
+// state struct carries a gob-hostile shape (chan/func fields, unexported
+// fields, fixed-size arrays of pointer/interface elements — gob rejects
+// nil array elements, the failure mode that motivated the dense-slice
+// serialization in PR 8).
+//
+// It is the static counterpart of the runtime invariant scrubber: the
+// scrubber proves the restored simulator behaves identically on the cases
+// a test drives; statecover proves no field was forgotten on any path,
+// including ones no test reaches.
+//
+// The walk is transitive within the package: a State() method that
+// captures stats via an accessor (m.Stats()) or a helper (captureStats)
+// still covers the fields those callees read. Calls out of the package
+// and dynamic calls are not followed; fields whose capture happens on the
+// far side of such a call need a //mehpt:transient annotation explaining
+// where the data goes.
+package statecover
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the statecover rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "statecover",
+	Doc: "prove State()/Restore field coverage: every stored field captured " +
+		"or //mehpt:transient, every state field populated and re-applied, " +
+		"no gob-hostile shapes",
+	Run: run,
+}
+
+// funcInfo is the memoized per-function flow summary the walks union.
+type funcInfo struct {
+	reads   map[*types.Var]bool // struct fields read (any selection)
+	writes  map[*types.Var]bool // state-struct fields stored to
+	callees []*types.Func       // static same-package callees
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+	// order lists the declared functions in source order, so every walk
+	// below is deterministic (ranging over decls would randomize it).
+	order []*types.Func
+	infos map[*types.Func]*funcInfo
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:  pass,
+		decls: map[*types.Func]*ast.FuncDecl{},
+		infos: map[*types.Func]*funcInfo{},
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				c.decls[fn] = fd
+				c.order = append(c.order, fn)
+			}
+		}
+	}
+
+	pairs := c.statePairs()
+	if len(pairs) == 0 {
+		return nil
+	}
+
+	captureRoots, restoreRoots := c.roots()
+	captured := c.closure(captureRoots)
+	restored := c.closure(restoreRoots)
+
+	for _, p := range pairs {
+		c.checkOwnerCoverage(p, c.closure([]*types.Func{p.method}))
+	}
+
+	for _, s := range c.stateStructs() {
+		c.checkStateStruct(s, captured, restored, restoreRoots)
+	}
+	return nil
+}
+
+// pair is one T ←→ S binding established by a State() method.
+type pair struct {
+	owner  *types.Named // T, the simulated type being checkpointed
+	state  *types.Named // S, the serialized image (nil if external/opaque)
+	method *types.Func  // (T).State
+}
+
+// statePairs finds every method named State returning a module state
+// struct.
+func (c *checker) statePairs() []*pair {
+	var pairs []*pair
+	for _, fn := range c.order {
+		fd := c.decls[fn]
+		if fn.Name() != "State" || fd.Recv == nil {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Results().Len() != 1 {
+			continue
+		}
+		owner := namedOf(sig.Recv().Type())
+		if owner == nil {
+			continue
+		}
+		state := namedOf(sig.Results().At(0).Type())
+		if state == nil || !analysis.IsStateStruct(state) {
+			continue // not a checkpoint State(): returns something else
+		}
+		pairs = append(pairs, &pair{owner: owner, state: state, method: fn})
+	}
+	return pairs
+}
+
+// stateStructs lists every state struct defined in this package.
+func (c *checker) stateStructs() []*types.Named {
+	var out []*types.Named
+	scope := c.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || !analysis.IsStateStruct(named) {
+			continue
+		}
+		out = append(out, named)
+	}
+	return out
+}
+
+// roots classifies every declared function into the capture corpus (State
+// methods, functions returning a state struct) and the restore corpus
+// (functions with a state-struct parameter). Methods ON a state struct
+// serve either direction and join both.
+func (c *checker) roots() (capture, restore []*types.Func) {
+	for _, fn := range c.order {
+		sig := fn.Type().(*types.Signature)
+		isCapture := false
+		isRestore := false
+		if fn.Name() == "State" && sig.Recv() != nil {
+			isCapture = true
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			if s := namedOf(sig.Results().At(i).Type()); s != nil && analysis.IsStateStruct(s) {
+				isCapture = true
+			}
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if s := namedOf(sig.Params().At(i).Type()); s != nil && analysis.IsStateStruct(s) {
+				isRestore = true
+			}
+		}
+		if recv := sig.Recv(); recv != nil {
+			if s := namedOf(recv.Type()); s != nil && analysis.IsStateStruct(s) {
+				isCapture, isRestore = true, true
+			}
+		}
+		if isCapture {
+			capture = append(capture, fn)
+		}
+		if isRestore {
+			restore = append(restore, fn)
+		}
+	}
+	return capture, restore
+}
+
+// closure unions the summaries of roots and everything they transitively
+// call inside the package.
+func (c *checker) closure(roots []*types.Func) *funcInfo {
+	out := &funcInfo{reads: map[*types.Var]bool{}, writes: map[*types.Var]bool{}}
+	seen := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		info := c.infoFor(fn)
+		if info == nil {
+			return
+		}
+		for v := range info.reads {
+			out.reads[v] = true
+		}
+		for v := range info.writes {
+			out.writes[v] = true
+		}
+		for _, callee := range info.callees {
+			visit(callee)
+		}
+	}
+	for _, fn := range roots {
+		visit(fn)
+	}
+	return out
+}
+
+// infoFor computes (and memoizes) one function's field reads, state-field
+// writes, and same-package callees.
+func (c *checker) infoFor(fn *types.Func) *funcInfo {
+	if info, ok := c.infos[fn]; ok {
+		return info
+	}
+	fd := c.decls[fn]
+	if fd == nil {
+		return nil
+	}
+	info := &funcInfo{reads: map[*types.Var]bool{}, writes: map[*types.Var]bool{}}
+	c.infos[fn] = info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel := c.pass.TypesInfo.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					info.reads[v] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.recordWrite(info, lhs)
+			}
+		case *ast.CompositeLit:
+			c.recordCompositeLit(info, n)
+		case *ast.CallExpr:
+			if callee := analysis.CalleeFunc(c.pass.TypesInfo, n); callee != nil && callee.Pkg() == c.pass.Pkg {
+				info.callees = append(info.callees, callee)
+			}
+		}
+		return true
+	})
+	return info
+}
+
+// recordWrite marks a state-struct field stored to through an lvalue,
+// unwrapping indexing/dereference so st.Ways[i] = ... counts as a write
+// of Ways.
+func (c *checker) recordWrite(info *funcInfo, lhs ast.Expr) {
+	for {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			lhs = l.X
+			continue
+		case *ast.StarExpr:
+			lhs = l.X
+			continue
+		case *ast.SelectorExpr:
+			sel := c.pass.TypesInfo.Selections[l]
+			if sel == nil || sel.Kind() != types.FieldVal {
+				return
+			}
+			v, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return
+			}
+			if owner := namedOf(c.pass.TypesInfo.TypeOf(l.X)); owner != nil && analysis.IsStateStruct(owner) {
+				info.writes[v] = true
+			}
+			// A deeper chain (st.Sub.Field = x) also writes the outer field.
+			lhs = l.X
+			continue
+		default:
+			return
+		}
+	}
+}
+
+// recordCompositeLit marks fields populated by a state-struct literal:
+// keyed entries write the named fields, an unkeyed literal writes all of
+// them.
+func (c *checker) recordCompositeLit(info *funcInfo, lit *ast.CompositeLit) {
+	named := namedOf(c.pass.TypesInfo.TypeOf(lit))
+	if named == nil || !analysis.IsStateStruct(named) {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	if len(lit.Elts) == 0 {
+		return
+	}
+	keyed := false
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		keyed = true
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+				info.writes[v] = true
+			}
+		}
+	}
+	if !keyed {
+		for i := 0; i < st.NumFields(); i++ {
+			info.writes[st.Field(i)] = true
+		}
+	}
+}
+
+// checkOwnerCoverage enforces rule (1): every stored field of T read in
+// its State() walk or annotated transient.
+func (c *checker) checkOwnerCoverage(p *pair, walk *funcInfo) {
+	st, ok := p.owner.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if walk.reads[f] || c.pass.Ann.Transient[f] {
+			continue
+		}
+		c.pass.Reportf(f.Pos(),
+			"field %s.%s is not captured by (%s).State and not marked transient; "+
+				`serialize it or annotate it "//mehpt:transient -- <how it is reconstituted>" (rule statecover)`,
+			p.owner.Obj().Name(), f.Name(), p.owner.Obj().Name())
+	}
+}
+
+// checkStateStruct enforces rules (2)-(4) on one state struct S.
+func (c *checker) checkStateStruct(named *types.Named, captured, restored *funcInfo, restoreRoots []*types.Func) {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	sName := named.Obj().Name()
+
+	// (4) gob-hostile shapes, independent of flow.
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		c.checkGobShape(sName, f)
+	}
+
+	// (3) restore coverage. When nothing consumes S at all, one finding
+	// beats a diagnostic per field.
+	consumed := false
+	for _, fn := range restoreRoots {
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len(); i++ {
+			if namedOf(sig.Params().At(i).Type()) == named {
+				consumed = true
+			}
+		}
+		if recv := sig.Recv(); recv != nil && namedOf(recv.Type()) == named {
+			consumed = true
+		}
+	}
+	fieldRead := false
+	for i := 0; i < st.NumFields(); i++ {
+		if restored.reads[st.Field(i)] {
+			fieldRead = true
+		}
+	}
+	if !consumed && !fieldRead && st.NumFields() > 0 {
+		c.pass.Reportf(named.Obj().Pos(),
+			"state struct %s has no restore counterpart: no function or method consumes it (rule statecover)", sName)
+	} else {
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !restored.reads[f] && f.Exported() {
+				c.pass.Reportf(f.Pos(),
+					"state field %s.%s is never applied on restore (rule statecover)", sName, f.Name())
+			}
+		}
+	}
+
+	// (2) capture coverage: every field of S populated somewhere in the
+	// capture corpus.
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !captured.writes[f] && f.Exported() {
+			c.pass.Reportf(f.Pos(),
+				"state field %s.%s is never populated during capture (rule statecover)", sName, f.Name())
+		}
+	}
+}
+
+// checkGobShape rejects field shapes encoding/gob mangles silently or at
+// runtime.
+func (c *checker) checkGobShape(sName string, f *types.Var) {
+	if !f.Exported() {
+		c.pass.Reportf(f.Pos(),
+			"unexported state field %s.%s is silently dropped by encoding/gob; export it or remove it (rule statecover)",
+			sName, f.Name())
+		return
+	}
+	if bad := gobHostile(f.Type(), 0); bad != "" {
+		c.pass.Reportf(f.Pos(),
+			"state field %s.%s %s (rule statecover)", sName, f.Name(), bad)
+	}
+}
+
+// gobHostile inspects a state field's structural type for shapes gob
+// cannot round-trip: chan/func anywhere, and fixed-size arrays with
+// pointer or interface elements (gob refuses nil elements — serialize a
+// dense slice instead). Named struct types are not descended into; they
+// are audited where they are declared.
+func gobHostile(t types.Type, depth int) string {
+	if depth > 8 {
+		return ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return "has channel type; gob cannot encode channels"
+	case *types.Signature:
+		return "has function type; gob cannot encode functions"
+	case *types.Array:
+		if hasPointerOrInterface(u.Elem()) {
+			return "is a fixed-size array with pointer/interface elements; " +
+				"gob rejects nil elements — serialize a dense slice instead"
+		}
+		return gobHostile(u.Elem(), depth+1)
+	case *types.Slice:
+		return gobHostile(u.Elem(), depth+1)
+	case *types.Map:
+		if bad := gobHostile(u.Key(), depth+1); bad != "" {
+			return bad
+		}
+		return gobHostile(u.Elem(), depth+1)
+	case *types.Pointer:
+		return gobHostile(u.Elem(), depth+1)
+	case *types.Struct:
+		if named := namedOf(t); named != nil && named.Obj().Pkg() != nil {
+			return "" // audited at its own declaration
+		}
+		for i := 0; i < u.NumFields(); i++ {
+			if bad := gobHostile(u.Field(i).Type(), depth+1); bad != "" {
+				return bad
+			}
+		}
+	}
+	return ""
+}
+
+func hasPointerOrInterface(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface:
+		return true
+	}
+	return false
+}
+
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

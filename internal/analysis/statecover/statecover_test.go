@@ -1,0 +1,12 @@
+package statecover_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/statecover"
+)
+
+func TestStatecover(t *testing.T) {
+	analysistest.Run(t, statecover.Analyzer, "testdata", "repro/internal/sctest")
+}

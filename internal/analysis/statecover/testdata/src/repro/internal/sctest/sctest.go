@@ -1,0 +1,138 @@
+// Package sctest is the statecover golden suite: State()/Restore pairs
+// with deliberate coverage holes and gob-hostile shapes, next to clean
+// pairs exercising the transitive-capture and satellite-struct paths.
+package sctest
+
+// Machine drops a field on capture and a field on restore.
+type Machine struct {
+	cycles  uint64
+	insts   uint64
+	scratch []byte // want `field Machine\.scratch is not captured by \(Machine\)\.State and not marked transient`
+	//mehpt:transient -- rebuilt by the page-table walker on first touch after restore
+	tables map[uint64]uint64
+}
+
+// MachineState is Machine's serialized image.
+type MachineState struct {
+	Cycles uint64 // want `state field MachineState\.Cycles is never applied on restore`
+	Insts  uint64
+	Epoch  uint64 // want `state field MachineState\.Epoch is never populated during capture`
+}
+
+// State captures everything except scratch (a bug) and tables (waived).
+func (m *Machine) State() MachineState {
+	return MachineState{Cycles: m.cycles, Insts: m.insts}
+}
+
+// Restore forgets to re-apply Cycles and reads Epoch (never captured).
+func (m *Machine) Restore(st MachineState) {
+	m.insts = st.Insts
+	m.cycles = 0
+	_ = st.Epoch
+}
+
+// Buffer round-trips fully, but its state struct has gob-hostile shapes.
+type Buffer struct {
+	data  []byte
+	wake  chan int
+	hook  func()
+	slots [4]*Entry
+}
+
+// Entry is a plain element type.
+type Entry struct{ V int }
+
+// BufferState collects one shape gob drops silently and three it rejects.
+type BufferState struct {
+	Data  []byte
+	notes string    // want `unexported state field BufferState\.notes is silently dropped by encoding/gob`
+	Wake  chan int  // want `gob cannot encode channels`
+	Hook  func()    // want `gob cannot encode functions`
+	Slots [4]*Entry // want `fixed-size array with pointer/interface elements`
+}
+
+func captureBuffer(b *Buffer) BufferState {
+	return BufferState{Data: b.data, Wake: b.wake, Hook: b.hook, Slots: b.slots}
+}
+
+func restoreBuffer(b *Buffer, st BufferState) {
+	b.data = st.Data
+	b.wake = st.Wake
+	b.hook = st.Hook
+	b.slots = st.Slots
+}
+
+// OrphanState is produced but never consumed: restoring from it is
+// impossible, so the checkpoint is write-only.
+type OrphanState struct { // want `state struct OrphanState has no restore counterpart`
+	Seq uint64
+}
+
+func captureOrphan(n uint64) OrphanState { return OrphanState{Seq: n} }
+
+// Core is clean: pc is captured through an accessor, proving the
+// transitive same-package walk.
+type Core struct {
+	pc   uint64
+	regs [4]uint64
+}
+
+// PC is the accessor State goes through.
+func (c *Core) PC() uint64 { return c.pc }
+
+// CoreState is Core's serialized image.
+type CoreState struct {
+	PC   uint64
+	Regs [4]uint64
+}
+
+// State captures pc via the accessor, not a direct field read.
+func (c *Core) State() CoreState {
+	return CoreState{PC: c.PC(), Regs: c.regs}
+}
+
+// Restore applies every field.
+func (c *Core) Restore(st CoreState) {
+	c.pc = st.PC
+	c.regs = st.Regs
+}
+
+// Bank is clean: its satellite WayState is populated element-wise during
+// capture and consumed through a range on restore — no function takes
+// WayState directly.
+type Bank struct {
+	ways []way
+}
+
+type way struct{ tag uint64 }
+
+// BankState is Bank's serialized image.
+type BankState struct {
+	Ways []WayState
+}
+
+// WayState is the per-way satellite image.
+type WayState struct {
+	Tag uint64
+}
+
+// State serializes the ways densely.
+func (b *Bank) State() BankState {
+	st := BankState{Ways: make([]WayState, 0, len(b.ways))}
+	for _, w := range b.ways {
+		st.Ways = append(st.Ways, WayState{Tag: w.tag})
+	}
+	return st
+}
+
+// Restore rebuilds the ways from the dense image.
+func (b *Bank) Restore(st BankState) {
+	b.ways = b.ways[:0]
+	for _, ws := range st.Ways {
+		b.ways = append(b.ways, way{tag: ws.Tag})
+	}
+}
+
+var _ = captureBuffer
+var _ = restoreBuffer
+var _ = captureOrphan

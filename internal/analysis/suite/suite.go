@@ -5,6 +5,7 @@ package suite
 import (
 	"repro/internal/analysis"
 	"repro/internal/analysis/addrspace"
+	"repro/internal/analysis/detflow"
 	"repro/internal/analysis/detrand"
 	"repro/internal/analysis/errwrap"
 	"repro/internal/analysis/hotalloc"
@@ -12,12 +13,17 @@ import (
 	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/randowner"
+	"repro/internal/analysis/staleallow"
+	"repro/internal/analysis/statecover"
 )
 
-// All returns every analyzer in the mehpt-lint suite.
+// All returns every analyzer in the mehpt-lint suite. staleallow is built
+// against the full name list so its unknown-analyzer check recognizes
+// every rule that can legitimately appear in a //mehpt:allow directive.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{
+	base := []*analysis.Analyzer{
 		addrspace.Analyzer,
+		detflow.Analyzer,
 		detrand.Analyzer,
 		errwrap.Analyzer,
 		hotalloc.Analyzer,
@@ -25,5 +31,11 @@ func All() []*analysis.Analyzer {
 		lockorder.Analyzer,
 		maporder.Analyzer,
 		randowner.Analyzer,
+		statecover.Analyzer,
 	}
+	names := make([]string, 0, len(base))
+	for _, a := range base {
+		names = append(names, a.Name)
+	}
+	return append(base, staleallow.New(names))
 }

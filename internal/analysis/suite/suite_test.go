@@ -22,7 +22,7 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("finding module: %v", err)
 	}
-	diags, loader, err := analysis.Lint(mod, []string{"./..."}, suite.All())
+	diags, loader, _, err := analysis.Lint(mod, []string{"./..."}, suite.All())
 	if err != nil {
 		t.Fatalf("lint: %v", err)
 	}

@@ -1,0 +1,28 @@
+// Package tainta is the caller side of the cross-package taint
+// round-trip fixture: every flow below crosses into taintb through its
+// exported taint summary.
+package tainta
+
+import "repro/internal/taintb"
+
+// FromClock returns a laundered wall-clock reading: the taint must ride
+// taintb.Stamp's summary through taintb.Mix's passthrough.
+func FromClock() int64 {
+	return taintb.Mix(taintb.Stamp(), 7)
+}
+
+// Hit feeds the clock into the sink directly.
+func Hit() uint64 {
+	return taintb.FingerprintAdd(taintb.Stamp())
+}
+
+// Deep feeds the clock into the sink through taintb.Forward, exercising
+// the exported ParamSink fact.
+func Deep() uint64 {
+	return taintb.Forward(taintb.Stamp())
+}
+
+// CleanPath uses the same callees with constant inputs: no taint.
+func CleanPath() int64 {
+	return taintb.Mix(3, 4)
+}

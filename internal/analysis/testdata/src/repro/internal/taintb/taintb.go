@@ -1,0 +1,27 @@
+// Package taintb is the callee side of the cross-package taint
+// round-trip fixture: a nondeterministic source, a pure passthrough, a
+// fingerprint sink, and a one-hop wrapper around the sink.
+package taintb
+
+import "time"
+
+// Stamp is the nondeterministic source.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Mix is a pure passthrough: both parameters flow to the result.
+func Mix(v, k int64) int64 {
+	return v * k
+}
+
+// FingerprintAdd is a module fingerprint sink (by name).
+func FingerprintAdd(v int64) uint64 {
+	return uint64(v) * 2654435761
+}
+
+// Forward reaches the sink one call deep: its parameter fact must export
+// as a ParamSink so callers in other packages see the flow.
+func Forward(v int64) uint64 {
+	return FingerprintAdd(v)
+}

@@ -126,7 +126,8 @@ func (c *Cache) Stats() Stats { return c.stats }
 // by value in one array so the per-access walk stays on one cache line of
 // metadata and never chases heap pointers.
 type Hierarchy struct {
-	levels      [3]Cache
+	levels [3]Cache
+	//mehpt:transient -- fixed geometry parameter; RestoreHierarchy re-derives it from the caller's HierarchyConfig
 	dramLatency uint64
 	dramHits    uint64
 }

@@ -58,9 +58,11 @@ func (s *Store) nextRung() uint64 {
 // list, the current chunk size, and the L2P entries that point at the
 // chunks. It is pure accounting — slot contents live in the page table.
 type Store struct {
-	alloc  phys.Source
-	l2p    *l2p.Table
-	way    int
+	//mehpt:transient -- RestoreStore reattaches the separately restored physical allocator
+	alloc phys.Source
+	//mehpt:transient -- RestoreStore reattaches the separately restored L2P table
+	l2p *l2p.Table
+	way int
 	size   addr.PageSize
 	ladder []uint64
 

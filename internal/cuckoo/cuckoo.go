@@ -114,8 +114,11 @@ func (w *way) size() uint64 { return uint64(len(w.slots)) }
 
 // Table is the elastic cuckoo hash table. It is not safe for concurrent use.
 type Table struct {
-	cfg   Config
-	fns   []hashfn.Func
+	//mehpt:transient -- RestoreTable requires the caller to re-supply the same Config (incl. a repositioned Rand)
+	cfg Config
+	//mehpt:transient -- pure function of cfg.HashSeed/Ways, re-derived by RestoreTable
+	fns []hashfn.Func
+	//mehpt:transient -- rebuilt from fns by RestoreTable
 	mixer *hashfn.Mixer // family-wide single-CRC hashing (read-only)
 	cur   []*way        // current table, one per way
 	next  []*way        // resize target, nil when not resizing
@@ -123,10 +126,12 @@ type Table struct {
 	rehashPtr []uint64
 	occupied  uint64
 	stats     Stats
-	rng       *rand.Rand
+	//mehpt:transient -- owned and positioned by whoever supplied Config.Rand; RestoreTable panics without one
+	rng *rand.Rand
 	// journal is tryPlace's displacement log, reused across insertions so
 	// the write path does not allocate in steady state. Chains are bounded
 	// by MaxKicks, and tryPlace is never re-entered while a chain is live.
+	//mehpt:transient -- scratch buffer, cleared at the end of every insert; always empty between operations
 	journal []undo
 }
 

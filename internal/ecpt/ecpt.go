@@ -61,9 +61,10 @@ type group struct {
 
 // Table is one per-page-size ECPT.
 type Table struct {
-	size  addr.PageSize
-	ways  int
-	tb    *cuckoo.Table
+	size addr.PageSize
+	ways int
+	tb   *cuckoo.Table
+	//mehpt:transient -- RestoreTable reattaches the separately restored physical allocator
 	alloc phys.Source
 	// groups holds live way allocations oldest-first: during a resize the
 	// first group backs the old table and the last the new one.

@@ -14,8 +14,10 @@ import (
 type PageTable struct {
 	tables [addr.NumPageSizes]*Table
 	slab   pt.Slab
-	alloc  phys.Source
-	cfg    Config
+	//mehpt:transient -- RestorePageTable reattaches the separately restored physical allocator
+	alloc phys.Source
+	//mehpt:transient -- RestorePageTable requires the caller to re-supply the same Config (incl. a repositioned Rand)
+	cfg Config
 }
 
 // NewPageTable creates a process's ECPT with its initial 4KB table.

@@ -19,8 +19,10 @@ type PageTable struct {
 	tables [addr.NumPageSizes]*Table
 	slab   pt.Slab
 	l2pTbl *l2p.Table
-	alloc  phys.Source
-	cfg    Config
+	//mehpt:transient -- RestorePageTable reattaches the separately restored physical allocator
+	alloc phys.Source
+	//mehpt:transient -- RestorePageTable requires the caller to re-supply the same Config (incl. a repositioned Rand)
+	cfg Config
 }
 
 // NewPageTable creates a process's ME-HPT. No physical memory is allocated

@@ -102,18 +102,25 @@ type Stats struct {
 
 // Table is one per-page-size ME-HPT. It is not safe for concurrent use.
 type Table struct {
-	cfg   Config
-	size  addr.PageSize
+	//mehpt:transient -- restoreTable requires the caller to re-supply the same Config (incl. a repositioned Rand)
+	cfg  Config
+	size addr.PageSize
+	//mehpt:transient -- reattached by restoreTable to the separately restored physical allocator
 	alloc phys.Source
-	l2p   *l2p.Table
-	ways  []*way
+	//mehpt:transient -- reattached by restoreTable to the separately restored L2P table
+	l2p  *l2p.Table
+	ways []*way
+	//mehpt:transient -- pure function of cfg.HashSeed and page size, re-derived by restoreTable
 	mixer *hashfn.Mixer // family-wide single-CRC hashing (read-only)
-	slab  *pt.Slab
+	//mehpt:transient -- reattached by restoreTable to the slab restored from PageTableState.Slab
+	slab *pt.Slab
+	//mehpt:transient -- owned and positioned by whoever supplied Config.Rand; restoreTable panics without one
 	rng   *rand.Rand
 	stats Stats
 	// journal is tryPlace's displacement log, reused across insertions so
 	// the write path does not allocate in steady state. Chains are bounded
 	// by MaxKicks, and tryPlace is never re-entered while a chain is live.
+	//mehpt:transient -- scratch buffer, cleared at the end of every insert; always empty between operations
 	journal []undo
 	// stash is the software overflow list: entries the table accepted but
 	// could not re-place during a degraded resize (e.g. a transition

@@ -161,14 +161,18 @@ func (s *Scheduler) AvgL2PEntries() float64 {
 // happens more often at higher C); they are reported but excluded from the
 // canonical fingerprint.
 type MultiCore struct {
+	//mehpt:transient -- construction parameter re-supplied to RestoreMultiCore, not state
 	costs SwitchCosts
+	//mehpt:transient -- construction parameter re-supplied to RestoreMultiCore, not state
 	cores int
+	//mehpt:transient -- the processes are restored separately and re-attached by RestoreMultiCore
 	procs []*Proc
 	// incumbent[c] is the pid resident on core c, or -1 when the core has
 	// run nothing yet.
 	incumbent []int
 	src       *snapshot.Source // counting source under rng, for checkpoints
-	rng       *rand.Rand
+	//mehpt:transient -- rebuilt as rand.New over src, whose stream position crosses the checkpoint as MultiCoreState.RNG
+	rng *rand.Rand
 	perm      []int // scratch for the per-round permutation
 	rounds    uint64
 

@@ -122,7 +122,7 @@ func RestoreStriped(st StripedState) *Striped {
 func (s *Striped) InspectStripes(f func(idx int, m *Memory)) {
 	for i, sp := range s.stripes {
 		sp.mu.Lock()
-		f(i, sp.mem) //mehpt:allow lockorder -- scrubber inspection visits one stripe at a time under its lock
+		f(i, sp.mem)
 		sp.mu.Unlock()
 	}
 }

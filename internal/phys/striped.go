@@ -32,16 +32,19 @@ import (
 type Striped struct {
 	stripes      []*stripe
 	stripeFrames uint64
-	model        CostModel
+	//mehpt:transient -- always DefaultCostModel; RestoreStriped reinstates the constant
+	model CostModel
 
 	// AmbientFMFI is the fragmentation level used for pricing allocations,
 	// mirroring Allocator.AmbientFMFI. Set before use; not synchronized.
 	AmbientFMFI float64
 
+	//mehpt:transient -- derived counter; RestoreStriped recomputes it from the restored stripes' free bytes
 	free atomic.Uint64 // global free bytes, maintained on alloc/free
 
 	hookMu sync.Mutex
-	hook   AllocHook //mehpt:guardedby hookMu
+	//mehpt:transient -- injection policy, serialized separately by its owner and re-attached after restore (see StripedState)
+	hook AllocHook //mehpt:guardedby hookMu
 	seq    uint64    //mehpt:guardedby hookMu -- allocation attempts issued
 }
 

@@ -69,8 +69,9 @@ type Stats struct {
 type PageTable struct {
 	root   *node
 	levels int
-	alloc  phys.Source
-	stats  Stats
+	//mehpt:transient -- Restore reattaches the separately restored physical allocator
+	alloc phys.Source
+	stats Stats
 }
 
 // NewPageTable creates an empty four-level tree with just the root node.

@@ -20,7 +20,8 @@ import "math/rand"
 type Source struct {
 	seed  int64
 	draws uint64
-	src   rand.Source
+	//mehpt:transient -- RestoreSource re-derives the stream by reseeding with Seed and burning Draws steps
+	src rand.Source
 }
 
 // NewSource returns a counting source with the same stream as

@@ -101,12 +101,19 @@ func (h *Histogram) Values() []int {
 	return vs
 }
 
-// Merge adds all observations from other into h.
+// Merge adds all observations from other into h. Values are folded in
+// ascending order: float addition is not associative, so accumulating sum
+// in map iteration order would make the merged statistics differ between
+// otherwise identical runs.
 func (h *Histogram) Merge(other *Histogram) {
-	for v, c := range other.counts {
-		if h.counts == nil {
-			h.counts = make(map[int]uint64)
-		}
+	if len(other.counts) == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]uint64, len(other.counts))
+	}
+	for _, v := range other.Values() {
+		c := other.counts[v]
 		h.counts[v] += c
 		h.total += c
 		h.sum += float64(v) * float64(c)

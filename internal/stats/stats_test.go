@@ -10,6 +10,41 @@ func almostEqual(a, b float64) bool {
 	return math.Abs(a-b) < 1e-9*(1+math.Abs(a)+math.Abs(b))
 }
 
+// TestHistogramMergeOrderIndependent pins the fix for a real determinism
+// bug: Merge used to accumulate sum in map iteration order, and float
+// addition is not associative, so bit-identical inputs produced
+// run-to-run drift in Mean(). The value mix below (one huge value plus
+// many small ones) makes the rounding order-sensitive: folding the small
+// values after the huge one loses them entirely.
+func TestHistogramMergeOrderIndependent(t *testing.T) {
+	var src Histogram
+	src.Add(1 << 60)
+	for i := 0; i < 1000; i++ {
+		src.Add(1)
+	}
+	for i := 0; i < 500; i++ {
+		src.Add(i * 7)
+	}
+
+	var wantSum float64
+	for _, v := range src.Values() {
+		wantSum += float64(v) * float64(src.Count(v))
+	}
+	wantMean := wantSum / float64(src.Total())
+
+	for trial := 0; trial < 8; trial++ {
+		var h Histogram
+		h.Merge(&src)
+		if got := h.Mean(); math.Float64bits(got) != math.Float64bits(wantMean) {
+			t.Fatalf("trial %d: merged Mean() = %x, want bit-identical %x (ascending fold)",
+				trial, math.Float64bits(got), math.Float64bits(wantMean))
+		}
+		if h.Total() != src.Total() {
+			t.Fatalf("trial %d: merged Total() = %d, want %d", trial, h.Total(), src.Total())
+		}
+	}
+}
+
 func TestGeoMean(t *testing.T) {
 	if g := GeoMean([]float64{2, 8}); !almostEqual(g, 4) {
 		t.Errorf("GeoMean(2,8) = %v, want 4", g)

@@ -47,9 +47,10 @@ type Machine struct {
 	sched    *osmodel.MultiCore
 	shared   *sharedRegion
 	injector *inject.Injector
-	sd       stats.Shootdowns
-	live     int
-	crasher  *inject.Crasher
+	sd   stats.Shootdowns
+	live int
+	//mehpt:transient -- chaos-harness kill switch, armed per run via SetCrasher; a recovered machine starts disarmed by design
+	crasher *inject.Crasher
 }
 
 // NewMachine constructs a machine at round zero.

@@ -176,9 +176,11 @@ func (s Spec) TouchedPageVAs(f func(va addr.VirtAddr) bool) {
 // Trace generates the timing-mode access stream: a deterministic sequence
 // of n virtual addresses following the spec's pattern.
 type Trace struct {
-	spec    Spec
-	src     *snapshot.Source // counting source under rng, for checkpoints
-	rng     *rand.Rand
+	//mehpt:transient -- construction parameter; Spec.RestoreTrace is a method on the caller's (matching) spec
+	spec Spec
+	src  *snapshot.Source // counting source under rng, for checkpoints
+	//mehpt:transient -- rebuilt as rand.New over src, whose stream position crosses the checkpoint as TraceState.RNG
+	rng *rand.Rand
 	n       uint64
 	emitted uint64
 	// sequential cursor state

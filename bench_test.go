@@ -315,11 +315,11 @@ func BenchmarkSectionIX(b *testing.B) {
 func BenchmarkHotPath(b *testing.B) {
 	b.Run("TLBHit", func(b *testing.B) {
 		tb := tlb.New(tlb.Config{Entries: 64, Ways: 4, Latency: 2})
-		tb.Insert(42)
+		tb.Insert(42, 42)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if !tb.Lookup(42) {
+			if _, ok := tb.Lookup(42); !ok {
 				b.Fatal("warm TLB lookup missed")
 			}
 		}
@@ -364,12 +364,13 @@ func BenchmarkHotPath(b *testing.B) {
 	})
 }
 
-// BenchmarkSteadyStateTranslate drives the full Translate → TLB → walk →
-// cache pipeline through sim.Machine.RunAddresses over a TLB-resident
+// BenchmarkSteadyStateTranslate drives the full TranslateBatch → TLB →
+// walk → cache pipeline through sim.Machine.RunBatches over a TLB-resident
 // working set, with the cold faults taken before the timer starts. Each op
 // is one batch of accesses, so the handful of per-call setup allocations in
-// RunAddresses amortize to a stable, machine-independent allocs/op that the
-// bench gate holds flat.
+// RunBatches amortize to a stable, machine-independent allocs/op that the
+// bench gate holds flat. The accesses/op metric is what mehpt-bench derives
+// accesses/sec from — the ISSUE 10 ≥2× throughput gate.
 func BenchmarkSteadyStateTranslate(b *testing.B) {
 	const batch = 8192
 	for _, org := range []sim.Org{sim.Radix, sim.ECPT, sim.MEHPT} {
@@ -382,18 +383,29 @@ func BenchmarkSteadyStateTranslate(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			vas := make([]addr.VirtAddr, 32)
-			for i := range vas {
-				vas[i] = workload.BaseVA + addr.VirtAddr(i)*4*addr.KB
+			// 32 resident pages, pre-expanded into a batch-aligned ring so
+			// the feed is a chunk copy — the cost shape of replaying a
+			// decoded binary-trace buffer, keeping the timed region about
+			// the pipeline rather than the address generator.
+			const resident = 32
+			ring := make([]addr.VirtAddr, 1024)
+			for i := range ring {
+				ring[i] = workload.BaseVA + addr.VirtAddr(i%resident)*4*addr.KB
 			}
 			replay := func(n int) sim.Result {
-				return m.RunAddresses(func(emit func(addr.VirtAddr)) {
-					for j := 0; j < n; j++ {
-						emit(vas[j%len(vas)])
+				pos := 0
+				return m.RunBatches(func(out []addr.VirtAddr) int {
+					k := len(out)
+					if k > n-pos {
+						k = n - pos
 					}
+					p := pos % len(ring) // ring length is a multiple of every batch width
+					copy(out[:k], ring[p:p+k])
+					pos += k
+					return k
 				})
 			}
-			if r := replay(len(vas)); r.Failed { // fault the set in, untimed
+			if r := replay(resident); r.Failed { // fault the set in, untimed
 				b.Fatal(r.FailReason)
 			}
 			b.ReportAllocs()

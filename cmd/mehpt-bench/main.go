@@ -13,6 +13,11 @@
 // allocs/op and B/op are properties of the code and get tight tolerances
 // (defaults 1% and 10%). A comparison fails — exit status 1 — only when a
 // benchmark present in both files regresses beyond its tolerance.
+//
+// Benchmarks reporting an accesses/op metric additionally get a derived
+// accesses/sec at parse time (accesses/op ÷ seconds/op), compared as a
+// first-class higher-is-better throughput gate under the ns/op tolerance —
+// the metric behind ISSUE 10's ≥2× steady-state claim.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -173,12 +179,29 @@ func Parse(r io.Reader) (*File, error) {
 				b.Metrics[unit] = val
 			}
 		}
+		// Derive the throughput metric: benchmarks that report how many
+		// simulated accesses one op replays get accesses/sec for free.
+		if acc := b.Metrics["accesses/op"]; acc > 0 && b.NsPerOp > 0 {
+			b.Metrics["accesses/sec"] = acc * 1e9 / b.NsPerOp
+		}
 		file.Benchmarks = append(file.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	return file, nil
+}
+
+// accPerSec returns a benchmark's throughput, deriving it from accesses/op
+// for files written before parse stamped accesses/sec directly.
+func accPerSec(b Benchmark) float64 {
+	if v := b.Metrics["accesses/sec"]; v > 0 {
+		return v
+	}
+	if acc := b.Metrics["accesses/op"]; acc > 0 && b.NsPerOp > 0 {
+		return acc * 1e9 / b.NsPerOp
+	}
+	return 0
 }
 
 func readFile(path string) *File {
@@ -202,6 +225,7 @@ func cmdCompare(args []string) {
 	byteTol := fs.Float64("byte-tolerance", 0.10, "allowed B/op regression (fraction)")
 	skipTime := fs.Bool("skip-time", false, "gate only allocs/op and B/op (for cross-machine comparisons)")
 	minTime := fs.Float64("min-time-ns", 100_000, "skip the ns/op gate when both sides run faster than this (sub-threshold timings at -benchtime 1x are timer noise)")
+	minRatio := fs.Float64("min-throughput-ratio", 0, "fail unless the accesses/sec geomean over matched benchmarks is at least this (0 = no floor; used to pin ISSUE 10's ≥2× claim between specific baselines)")
 	fs.Parse(args) //mehpt:allow errwrap -- ExitOnError flagset exits on bad flags
 	if *newPath == "" {
 		fatalf("compare: -new is required")
@@ -219,6 +243,8 @@ func cmdCompare(args []string) {
 		tol      float64
 	}
 	regressions := 0
+	var logRatioSum float64
+	ratioCount := 0
 	names := make([]string, 0, len(cur.Benchmarks))
 	curBy := map[string]Benchmark{}
 	for _, b := range cur.Benchmarks {
@@ -256,18 +282,45 @@ func cmdCompare(args []string) {
 				fmt.Printf("REGRESSED %-40s %s 0 -> %.4g (was allocation-free)\n", name, c.metric, c.new)
 			}
 		}
+		// Throughput gate: accesses/sec is machine-dependent like ns/op but
+		// higher-is-better, so it regresses when it FALLS past the tolerance.
+		oa, na := accPerSec(ob), accPerSec(nb)
+		if oa > 0 && na > 0 {
+			logRatioSum += math.Log(na / oa)
+			ratioCount++
+		}
+		if !*skipTime && oa > 0 && na > 0 && na < oa*(1-*timeTol) {
+			regressions++
+			worst = "accesses/sec"
+			fmt.Printf("REGRESSED %-40s accesses/sec %.4g -> %.4g (%.1f%%, tolerance %.0f%%)\n",
+				name, oa, na, (na/oa-1)*100, *timeTol*100)
+		}
 		if worst == "" {
 			delta := 0.0
 			if ob.NsPerOp > 0 {
 				delta = (nb.NsPerOp/ob.NsPerOp - 1) * 100
 			}
-			fmt.Printf("ok        %-40s ns/op %+.1f%%, allocs/op %.4g\n", name, delta, nb.AllocsPerOp)
+			line := fmt.Sprintf("ok        %-40s ns/op %+.1f%%, allocs/op %.4g", name, delta, nb.AllocsPerOp)
+			if oa > 0 && na > 0 {
+				line += fmt.Sprintf(", accesses/sec %.3g (%.2fx)", na, na/oa)
+			}
+			fmt.Println(line)
 		}
 	}
 	for _, b := range base.Benchmarks {
 		if _, ok := curBy[b.Name]; !ok {
 			fmt.Printf("MISSING   %-40s (in baseline, not measured)\n", b.Name)
 		}
+	}
+	if ratioCount > 0 {
+		geomean := math.Exp(logRatioSum / float64(ratioCount))
+		fmt.Printf("\nthroughput geomean: %.2fx accesses/sec over %d benchmark(s)\n", geomean, ratioCount)
+		if *minRatio > 0 && geomean < *minRatio {
+			fmt.Printf("throughput geomean %.2fx below required %.2fx floor\n", geomean, *minRatio)
+			os.Exit(1)
+		}
+	} else if *minRatio > 0 {
+		fatalf("compare: -min-throughput-ratio set but no benchmark reports accesses/sec in both files")
 	}
 	if regressions > 0 {
 		fmt.Printf("\n%d regression(s) beyond tolerance vs %s\n", regressions, *basePath)

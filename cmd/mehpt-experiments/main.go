@@ -87,6 +87,7 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume multitenant jobs from their -checkpoint snapshots when present")
 		scrubFlag  = flag.Bool("scrub", false, "run the cross-layer invariant scrubber on every multitenant machine; violations exit non-zero")
 		chaosPlan  = flag.String("chaos", "", "kill plan for the multitenant crash-consistency harness, e.g. 'remap.after:2' (see inject.ParseKill); requires -checkpoint")
+		tenantTrc  = flag.String("tenant-trace", "", "base path for recorded multitenant access streams (<path>.<org>.p<procs>.btrc); cells record once, then replay")
 		timeout    = flag.Duration("timeout", 0, "suite deadline; on expiry machines stop at a round boundary, flush checkpoints, and the process exits 3")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the suite run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof allocation profile (alloc_space) to this file at exit")
@@ -201,6 +202,7 @@ func main() {
 	o.Resume = *resume
 	o.Scrub = *scrubFlag
 	o.Chaos = *chaosPlan
+	o.TenantTrace = *tenantTrc
 	o.Ctx = suiteCtx
 	var tally atomic.Uint64
 	o.AccessTally = &tally

@@ -1,6 +1,8 @@
 // Command mehpt-sim runs one workload under one page-table organization
 // through the full trace-driven simulator and prints the translation,
-// memory, and cycle statistics.
+// memory, and cycle statistics. With -trace it replays a recorded trace
+// file (either on-disk format, auto-detected) instead of generating the
+// workload's statistical stream.
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -25,6 +28,7 @@ func main() {
 		fmfi     = flag.Float64("fmfi", 0.7, "ambient fragmentation for allocation pricing")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		populate = flag.Bool("populate", true, "pre-fault the touched footprint before the trace")
+		traceIn  = flag.String("trace", "", "replay this recorded trace file instead of generating -app's stream")
 	)
 	flag.Parse()
 
@@ -45,6 +49,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *traceIn != "" {
+		// A replayed trace brings its own footprint; the populate pass only
+		// knows the statistical workload's, so it does not apply.
+		spec = workload.Spec{Name: "replay:" + *traceIn}
+		*populate = false
+	}
 
 	m, err := sim.NewMachine(sim.Config{
 		Org:      org,
@@ -60,7 +70,27 @@ func main() {
 		os.Exit(1)
 	}
 	m.SetAmbientFMFI(*fmfi)
-	res := m.Run()
+	var res sim.Result
+	if *traceIn != "" {
+		f, ferr := os.Open(*traceIn)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "mehpt-sim:", ferr)
+			os.Exit(1)
+		}
+		defer f.Close()
+		s, serr := trace.OpenStream(f)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "mehpt-sim:", serr)
+			os.Exit(1)
+		}
+		res, err = m.RunStream(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mehpt-sim:", err)
+			os.Exit(1)
+		}
+	} else {
+		res = m.Run()
+	}
 
 	fmt.Printf("%s on %v (THP=%v, scale=%d)\n", spec.Name, org, *thp, *scale)
 	if res.Failed {

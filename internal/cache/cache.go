@@ -77,6 +77,34 @@ func (c *Cache) set(ln uint64) []uint64 {
 	return c.tags[base : base+uint64(c.ways)]
 }
 
+// promote moves set[i] to the MRU front. The explicit backward shift
+// replaces copy(): promotion distances are tiny (usually one slot), where a
+// memmove call costs more than the move itself.
+//
+//go:inline
+func promote(set []uint64, i int) {
+	want := set[i]
+	for ; i > 0; i-- {
+		set[i] = set[i-1]
+	}
+	set[0] = want
+}
+
+// fillFront inserts want at the MRU front of a set whose first n slots are
+// valid, dropping the LRU tail when full — the shared tail of Fill and the
+// batch pipeline's inline refill.
+//
+//go:inline
+func fillFront(set []uint64, want uint64, n int) {
+	if n == len(set) {
+		n-- // set full: shifting right drops the LRU tail
+	}
+	for ; n > 0; n-- {
+		set[n] = set[n-1]
+	}
+	set[0] = want
+}
+
 // Lookup probes the cache without filling, updating LRU on a hit.
 //mehpt:hotpath
 func (c *Cache) Lookup(pa addr.PhysAddr) bool {
@@ -87,8 +115,7 @@ func (c *Cache) Lookup(pa addr.PhysAddr) bool {
 			break // empties are a suffix: the rest of the set is empty
 		}
 		if tag == want {
-			copy(set[1:i+1], set[:i])
-			set[0] = want
+			promote(set, i)
 			c.stats.Hits++
 			return true
 		}
@@ -109,11 +136,7 @@ func (c *Cache) Fill(pa addr.PhysAddr) {
 			break
 		}
 	}
-	if n == len(set) {
-		n-- // set full: shifting right drops the LRU tail
-	}
-	copy(set[1:n+1], set[:n])
-	set[0] = want
+	fillFront(set, want, n)
 }
 
 // Latency returns the hit round-trip latency.
@@ -162,7 +185,32 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 // a miss the line is filled into every level (inclusive hierarchy).
 //mehpt:hotpath
 func (h *Hierarchy) Access(pa addr.PhysAddr) uint64 {
-	for i := range h.levels {
+	if h.levels[0].Lookup(pa) {
+		return h.levels[0].Latency()
+	}
+	return h.accessFromL1Miss(pa)
+}
+
+// accessFromL1Miss finishes Access after the L1 probe has already missed
+// (and been counted): probe the outer levels, fill inward on a hit, go to
+// DRAM and fill everything on a full miss. Access and AccessBatch's slow
+// lane both funnel through this, which keeps them bit-identical.
+//mehpt:hotpath
+func (h *Hierarchy) accessFromL1Miss(pa addr.PhysAddr) uint64 {
+	if h.levels[1].Lookup(pa) {
+		h.levels[0].Fill(pa)
+		return h.levels[1].Latency()
+	}
+	return h.accessFromL2Miss(pa)
+}
+
+// accessFromL2Miss finishes an access that missed both L1 and L2 (both
+// counted): probe L3, fill inward on a hit, go to DRAM and fill everything
+// on a full miss. accessFromL1Miss and AccessBatch's inline L2 lane both
+// funnel through this.
+//mehpt:hotpath
+func (h *Hierarchy) accessFromL2Miss(pa addr.PhysAddr) uint64 {
+	for i := 2; i < len(h.levels); i++ {
 		if h.levels[i].Lookup(pa) {
 			for j := 0; j < i; j++ {
 				h.levels[j].Fill(pa)
@@ -175,6 +223,112 @@ func (h *Hierarchy) Access(pa addr.PhysAddr) uint64 {
 	}
 	h.dramHits++
 	return h.dramLatency
+}
+
+// AccessBatch performs one memory access per element of pas, writing each
+// access's round-trip latency into lats[i]. It is bit-identical — state,
+// stats, and latencies — to len(pas) sequential Access calls, but software-
+// pipelines the common case: L1 set indices for a whole chunk are computed
+// in a first pass so the tag loads overlap, then compared in a second pass.
+// Misses fall through to the same outer-level walk Access uses.
+//mehpt:hotpath
+func (h *Hierarchy) AccessBatch(pas []addr.PhysAddr, lats []uint64) {
+	const chunk = 64 // matches tlb.BatchWidth; local so the scratch is stack-sized
+	l1 := &h.levels[0]
+	l2 := &h.levels[1]
+	ways := uint64(l1.ways)
+	w2 := uint64(l2.ways)
+	lat1, lat2 := l1.cfg.Latency, l2.cfg.Latency
+	// Hoist the tag arrays (and geometry) into locals: the compiler cannot
+	// prove the lats stores don't alias the tag slices, so field reloads
+	// would otherwise follow every store in the loop.
+	tags1, tags2 := l1.tags, l2.tags
+	mask1, sets1 := l1.setMask, l1.sets
+	mask2, sets2 := l2.setMask, l2.sets
+	bits1, bits2 := l1.lineBits, l2.lineBits
+	// Stats accumulate in registers and flush once per chunk: nothing
+	// observes the counters mid-batch, so the end state is bit-identical.
+	var hits1, miss1, hits2, miss2 uint64
+	for len(pas) > 0 {
+		n := len(pas)
+		if n > chunk {
+			n = chunk
+		}
+		var baseBuf [chunk]uint64
+		var wantBuf [chunk]uint64
+		for i, pa := range pas[:n] {
+			ln := uint64(pa) >> bits1
+			var si uint64
+			if mask1 != 0 || sets1 == 1 {
+				si = ln & mask1
+			} else {
+				si = ln % sets1
+			}
+			baseBuf[i] = si * ways
+			wantBuf[i] = ln + 1
+		}
+		for i, pa := range pas[:n] {
+			base, want := baseBuf[i], wantBuf[i]
+			set := tags1[base : base+ways]
+			hit := -1
+			nv := len(set) // valid-entry count, reused by the inline refill
+			for j, tag := range set {
+				if tag == 0 {
+					nv = j
+					break
+				}
+				if tag == want {
+					hit = j
+					break
+				}
+			}
+			if hit >= 0 {
+				promote(set, hit)
+				hits1++
+				lats[i] = lat1
+				continue
+			}
+			// Count the L1 miss exactly as Lookup would, then run the L2
+			// probe inline — the dominant miss case — with the same LRU and
+			// stats order as accessFromL1Miss. Deeper misses leave the fast
+			// path.
+			miss1++
+			ln2 := uint64(pa) >> bits2
+			var si2 uint64
+			if mask2 != 0 || sets2 == 1 {
+				si2 = ln2 & mask2
+			} else {
+				si2 = ln2 % sets2
+			}
+			set2 := tags2[si2*w2 : si2*w2+w2]
+			want2 := ln2 + 1
+			hit2 := -1
+			for j, tag := range set2 {
+				if tag == 0 {
+					break
+				}
+				if tag == want2 {
+					hit2 = j
+					break
+				}
+			}
+			if hit2 >= 0 {
+				promote(set2, hit2)
+				hits2++
+				fillFront(set, want, nv) // inclusive refill of L1, as Fill would
+				lats[i] = lat2
+				continue
+			}
+			miss2++
+			lats[i] = h.accessFromL2Miss(pa)
+		}
+		pas = pas[n:]
+		lats = lats[n:]
+	}
+	l1.stats.Hits += hits1
+	l1.stats.Misses += miss1
+	l2.stats.Hits += hits2
+	l2.stats.Misses += miss2
 }
 
 // AccessPT performs a page-walker memory access. Page-table lines are

@@ -159,6 +159,19 @@ func (t *Table) FootprintBytes() uint64 {
 	return b
 }
 
+// ScalarStats returns the accumulated counters without deep-copying the
+// reinsertion histogram (left empty in the copy). The per-run result
+// aggregation reads only scalar fields, and the histogram copy was its
+// last allocation.
+func (t *Table) ScalarStats() Stats {
+	s := t.stats
+	s.Reinsertions = stats.Histogram{}
+	cs := t.tb.Stats()
+	s.Upsizes = cs.Upsizes
+	s.Downsizes = cs.Downsizes
+	return s
+}
+
 // Stats returns a copy of the accumulated statistics, folding in the
 // underlying cuckoo table's counters.
 func (t *Table) Stats() Stats {
@@ -197,6 +210,14 @@ func (t *Table) Lookup(key uint64) (uint64, bool) { return t.tb.Lookup(key) }
 // LookupWay is Lookup additionally reporting the way that hit, with the
 // same statistics footprint.
 func (t *Table) LookupWay(key uint64) (uint64, int, bool) { return t.tb.LookupWay(key) }
+
+// LookupBatch resolves len(keys) lookups through the cuckoo table's
+// software-pipelined, single-CRC batch sweep; bit-identical results and
+// statistics to sequential Lookup calls.
+//mehpt:hotpath
+func (t *Table) LookupBatch(keys, vals []uint64, ways []int, oks []bool) {
+	t.tb.LookupBatch(keys, vals, ways, oks)
+}
 
 // Delete removes key.
 func (t *Table) Delete(key uint64) bool { return t.tb.Delete(key) }

@@ -110,6 +110,13 @@ type Options struct {
 	// next round boundary once it is done, flush a final checkpoint (when
 	// Checkpoint is set), and report a partial row.
 	Ctx context.Context
+	// TenantTrace, when non-empty, is the base path for recorded
+	// multi-tenant access streams: each (org, processes) cell uses
+	// <TenantTrace>.<org>.p<procs>.btrc, recording it first if absent
+	// (before the matrix fans out, so jobs only ever read), then replaying
+	// every job of the cell from it. Replayed fingerprints are
+	// bit-identical to generated-trace runs of the same cell.
+	TenantTrace string
 }
 
 // DefaultOptions returns the paper's configuration (full scale).

@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"os"
 
 	"repro/internal/runner"
 	"repro/internal/scrub"
 	"repro/internal/sim"
 	"repro/internal/tenant"
+	"repro/internal/trace"
 )
 
 // MultiTenantRow is one machine run of the multi-tenant matrix: the
@@ -71,18 +73,14 @@ func MultiTenant(o Options, cores, processes []int) []MultiTenantRow {
 			}
 		}
 	}
+	replays, prepErr := o.tenantReplays(processes)
 	envs := runner.MapSafe(o.Parallel, jobs, nil, func(_ int, j mtJob) (MultiTenantRow, error) {
-		cfg := tenant.Config{
-			Org:       j.org,
-			Processes: j.procs,
-			Cores:     j.cores,
-			MemBytes:  o.MemBytes,
-			FMFI:      o.FMFI,
-			// Identity-pure seed: org and process count, NOT cores. This is
-			// what makes the fingerprint comparable across the cores axis.
-			Seed:   runner.DeriveSeed(o.Seed, "multitenant", j.org.String(), false, fmt.Sprintf("p%d", j.procs)),
-			Scale:  o.Scale,
-			Inject: o.Inject,
+		if prepErr != nil {
+			return MultiTenantRow{}, fmt.Errorf("tenant trace: %w", prepErr)
+		}
+		cfg := o.mtConfig(j.org, j.procs, j.cores)
+		if replays != nil {
+			cfg.Replay = replays[mtCell(j.org, j.procs)]
 		}
 		ckpt := ""
 		if o.Checkpoint != "" {
@@ -111,6 +109,70 @@ func MultiTenant(o Options, cores, processes []int) []MultiTenantRow {
 		}
 	}
 	return rows
+}
+
+// mtConfig builds one multi-tenant job's configuration.
+func (o Options) mtConfig(org sim.Org, procs, cores int) tenant.Config {
+	return tenant.Config{
+		Org:       org,
+		Processes: procs,
+		Cores:     cores,
+		MemBytes:  o.MemBytes,
+		FMFI:      o.FMFI,
+		// Identity-pure seed: org and process count, NOT cores. This is
+		// what makes the fingerprint comparable across the cores axis.
+		Seed:   runner.DeriveSeed(o.Seed, "multitenant", org.String(), false, fmt.Sprintf("p%d", procs)),
+		Scale:  o.Scale,
+		Inject: o.Inject,
+	}
+}
+
+// mtCell keys one (org, processes) cell — the granularity at which seeds,
+// fingerprints, and recorded traces are shared across the cores axis.
+func mtCell(org sim.Org, procs int) string {
+	return fmt.Sprintf("%s.p%d", org, procs)
+}
+
+// tenantReplays ensures each (org, processes) cell's recorded trace exists
+// under Options.TenantTrace and loads its per-PID sections. Recording runs
+// serially before the matrix fans out, so concurrent jobs only ever read;
+// an existing file is trusted and replayed as-is (record once, replay many).
+func (o Options) tenantReplays(processes []int) (map[string][]trace.Section, error) {
+	if o.TenantTrace == "" {
+		return nil, nil
+	}
+	out := map[string][]trace.Section{}
+	for _, org := range []sim.Org{sim.Radix, sim.ECPT, sim.MEHPT} {
+		for _, p := range processes {
+			path := fmt.Sprintf("%s.%s.p%d.btrc", o.TenantTrace, org, p)
+			if _, err := os.Stat(path); errors.Is(err, fs.ErrNotExist) {
+				f, err := os.Create(path)
+				if err != nil {
+					return nil, err
+				}
+				rerr := tenant.RecordTraces(o.mtConfig(org, p, 1), f)
+				if cerr := f.Close(); rerr == nil {
+					rerr = cerr
+				}
+				if rerr != nil {
+					return nil, fmt.Errorf("recording %s: %w", path, rerr)
+				}
+			} else if err != nil {
+				return nil, err
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			secs, rerr := trace.ReadSections(f)
+			f.Close() //mehpt:allow errwrap -- read-only handle; decode errors are what matter and are checked below
+			if rerr != nil {
+				return nil, fmt.Errorf("reading %s: %w", path, rerr)
+			}
+			out[mtCell(org, p)] = secs
+		}
+	}
+	return out, nil
 }
 
 // runResilientJob executes one machine under the resilience options: resume

@@ -19,6 +19,15 @@
 //     constant, so their raw CRCs differ by a precomputable constant too.
 //     A Mixer exploits this: one CRC pass per key, plus one XOR and one
 //     finalizer per additional way (see NewMixer).
+//   - The per-key CRC pass itself is table-folded. Slicing-by-8 turns one
+//     8-byte block into eight independent table lookups (instead of eight
+//     serially dependent byte steps), and because the block transform is
+//     linear over GF(2), two consecutive blocks compose into a single
+//      8-lookup pass through precomputed double-block tables. The seed word
+//     — the second block of every rawCRC input — is constant per Func, so
+//     its whole contribution folds into one precomputed XOR. A rawCRC is
+//     eight independent loads plus two XORs, bit-identical to
+//     crc64.Checksum over the 16-byte message (property-tested).
 package hashfn
 
 import "hash/crc64"
@@ -29,6 +38,68 @@ const Latency = 2
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
+// sliceTable holds the slicing-by-8 helper tables: sliceTable[0] is the
+// plain byte table, and sliceTable[j][v] advances the single-byte CRC state
+// sliceTable[0][v] through j further zero bytes. With them, one 8-byte block
+// folds into the state with eight independent loads (blockCRC) instead of
+// eight serially dependent byte steps.
+//
+// Every table is linear over GF(2): tab[0] == 0 and tab[i^j] == tab[i]^tab[j]
+// (CRC without pre/post-inversion is a linear map of the message bits). That
+// linearity is what the double-block fold below and the Mixer both rely on.
+var sliceTable = buildSliceTable()
+
+// doubleTable composes two blockCRC passes: doubleTable[j][v] =
+// blockCRC(sliceTable[7-j][v]), so that for any state x,
+//
+//	blockCRC(blockCRC(x)) = ⊕_{j=0..7} doubleTable[j][byte_j(x)]
+//
+// by linearity of blockCRC. It lets a 16-byte message whose second block is
+// a per-Func constant be checksummed in a single 8-lookup pass (see rawCRC).
+var doubleTable = buildDoubleTable()
+
+func buildSliceTable() *[8][256]uint64 {
+	var t [8][256]uint64
+	t[0] = *crcTable
+	for v := 0; v < 256; v++ {
+		crc := t[0][v]
+		for j := 1; j < 8; j++ {
+			crc = t[0][crc&0xff] ^ (crc >> 8)
+			t[j][v] = crc
+		}
+	}
+	return &t
+}
+
+func buildDoubleTable() *[8][256]uint64 {
+	var t [8][256]uint64
+	for j := 0; j < 8; j++ {
+		for v := 0; v < 256; v++ {
+			t[j][v] = blockCRC(sliceTable[7-j][v])
+		}
+	}
+	return &t
+}
+
+// blockCRC folds one 8-byte little-endian block already XORed into the CRC
+// state x, using eight independent table loads (slicing-by-8). Folding a
+// block b into state c is blockCRC(c ^ b).
+func blockCRC(x uint64) uint64 {
+	t := sliceTable
+	return t[7][x&0xff] ^ t[6][(x>>8)&0xff] ^ t[5][(x>>16)&0xff] ^
+		t[4][(x>>24)&0xff] ^ t[3][(x>>32)&0xff] ^ t[2][(x>>40)&0xff] ^
+		t[1][(x>>48)&0xff] ^ t[0][x>>56]
+}
+
+// doubleBlockCRC is blockCRC applied twice, folded into one 8-lookup pass
+// through doubleTable.
+func doubleBlockCRC(x uint64) uint64 {
+	t := doubleTable
+	return t[0][x&0xff] ^ t[1][(x>>8)&0xff] ^ t[2][(x>>16)&0xff] ^
+		t[3][(x>>24)&0xff] ^ t[4][(x>>32)&0xff] ^ t[5][(x>>40)&0xff] ^
+		t[6][(x>>48)&0xff] ^ t[7][x>>56]
+}
+
 // seedMul is the multiplier folding the seed into the key word (golden
 // ratio, as in splitmix64 seeding).
 const seedMul = 0x9E3779B97F4A7C15
@@ -36,13 +107,29 @@ const seedMul = 0x9E3779B97F4A7C15
 // Func is a seeded hash function over 64-bit keys (virtual page numbers).
 // Two Funcs with different seeds behave as independent hash functions, which
 // is what W-way cuckoo hashing requires.
+//
+// Funcs must be created with New (or Family): the constructor precomputes
+// the folded seed constants that make rawCRC a single table pass.
 type Func struct {
 	seed uint64
+	// pre is XORed into the key before the double-block table pass: it
+	// carries both the seed mixing (seed*seedMul) and the CRC
+	// pre-inversion (^0) of the initial state.
+	pre uint64
+	// post is XORed after the pass: the seed word's own contribution
+	// blockCRC(seed) plus the CRC post-inversion. Derivation in rawCRC.
+	post uint64
 }
 
 // New returns the hash function with the given seed. Distinct ways of a
 // cuckoo table must use distinct seeds.
-func New(seed uint64) Func { return Func{seed: seed} }
+func New(seed uint64) Func {
+	return Func{
+		seed: seed,
+		pre:  seed*seedMul ^ ^uint64(0),
+		post: blockCRC(seed) ^ ^uint64(0),
+	}
+}
 
 // Seed returns the seed this function was created with.
 func (f Func) Seed() uint64 { return f.seed }
@@ -51,16 +138,7 @@ func (f Func) Seed() uint64 { return f.seed }
 // materializing the byte buffer. TestCRCWordsMatchesChecksum pins the
 // equivalence.
 func crcWords(a, b uint64) uint64 {
-	crc := ^uint64(0)
-	for i := 0; i < 8; i++ {
-		crc = crcTable[byte(crc)^byte(a)] ^ (crc >> 8)
-		a >>= 8
-	}
-	for i := 0; i < 8; i++ {
-		crc = crcTable[byte(crc)^byte(b)] ^ (crc >> 8)
-		b >>= 8
-	}
-	return ^crc
+	return ^blockCRC(blockCRC(^uint64(0)^a) ^ b)
 }
 
 // finalize is the splitmix64 avalanche applied to the raw CRC so low bits
@@ -76,9 +154,20 @@ func finalize(h uint64) uint64 {
 }
 
 // rawCRC returns the CRC stage of Hash: the checksum over the seed-mixed
-// key word followed by the seed word.
+// key word followed by the seed word,
+//
+//	crcWords(key ^ seed·M, seed) = ^blockCRC(blockCRC(^0 ^ key ^ seed·M) ^ seed).
+//
+// By linearity blockCRC(x ^ seed) = blockCRC(x) ^ blockCRC(seed), so the
+// whole thing collapses to one double-block table pass over the key plus
+// the two per-Func constants precomputed by New:
+//
+//	rawCRC(key) = doubleBlockCRC(key ^ pre) ^ post
+//
+// Eight independent loads and two XORs per key. TestRawCRCFolded pins
+// bit-identity against the two-pass crcWords form.
 func (f Func) rawCRC(key uint64) uint64 {
-	return crcWords(key^(f.seed*seedMul), f.seed)
+	return doubleBlockCRC(key^f.pre) ^ f.post
 }
 
 // Hash returns the 64-bit hash of key.

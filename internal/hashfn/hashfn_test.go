@@ -121,6 +121,47 @@ func TestCRCWordsMatchesChecksum(t *testing.T) {
 	}
 }
 
+// TestRawCRCFolded pins the single-pass folded rawCRC against the
+// unfolded two-block formulation it replaced: for every (seed, key),
+// doubleBlockCRC(key ^ pre) ^ post must equal
+// crcWords(key ^ seed·M, seed) bit-for-bit.
+func TestRawCRCFolded(t *testing.T) {
+	check := func(seed, key uint64) bool {
+		return New(seed).rawCRC(key) == crcWords(key^(seed*seedMul), seed)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+	for _, seed := range []uint64{0, 1, ^uint64(0), 0x6A09E667F3BCC909} {
+		f := New(seed)
+		for _, key := range []uint64{0, 1, ^uint64(0), seed} {
+			if got, want := f.rawCRC(key), crcWords(key^(seed*seedMul), seed); got != want {
+				t.Errorf("seed %#x key %#x: folded %#x != unfolded %#x", seed, key, got, want)
+			}
+		}
+	}
+}
+
+// TestBlockCRCByteReference pins the slicing-by-8 block fold against a
+// plain byte-at-a-time CRC step loop — the formulation crcWords used before
+// the tables existed.
+func TestBlockCRCByteReference(t *testing.T) {
+	byteRef := func(crc, w uint64) uint64 {
+		for i := 0; i < 8; i++ {
+			crc = crcTable[byte(crc)^byte(w)] ^ (crc >> 8)
+			w >>= 8
+		}
+		return crc
+	}
+	check := func(crc, w uint64) bool {
+		return blockCRC(crc^w) == byteRef(crc, w) &&
+			doubleBlockCRC(crc^w) == blockCRC(byteRef(crc, w))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestMixerMatchesHash is the equality property the determinism contract
 // requires: for any family and any key, Mixer.HashAt must reproduce
 // Func.Hash bit-for-bit — the CRC-affinity shortcut must be invisible.

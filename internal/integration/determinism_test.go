@@ -2,6 +2,7 @@ package integration
 
 import (
 	"encoding/json"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -112,5 +113,41 @@ func TestMultiTenantWorkerCoreMatrix(t *testing.T) {
 		if j != baseJSON {
 			t.Errorf("matrix JSON at %d workers differs from serial run", workers)
 		}
+	}
+}
+
+// TestMultiTenantTraceReplayMatrix proves the record/replay path of the
+// multi-tenant matrix is invisible in the results: recording every
+// (org, processes) cell's access streams to sectioned binary traces and
+// replaying them — freshly recorded or reread from disk — reproduces the
+// generated-trace matrix byte for byte.
+func TestMultiTenantTraceReplayMatrix(t *testing.T) {
+	o := experiments.TestOptions()
+	cores := []int{1, 2}
+	procs := []int{4}
+
+	render := func(o experiments.Options) string {
+		rows := experiments.MultiTenant(o, cores, procs)
+		for _, r := range rows {
+			if r.JobFailed {
+				t.Fatalf("machine %s/p%d/c%d failed: %s", r.Org, r.Processes, r.Cores, r.FailReason)
+			}
+		}
+		j, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(j)
+	}
+
+	base := render(o)
+	ro := o
+	ro.TenantTrace = filepath.Join(t.TempDir(), "mt")
+	if got := render(ro); got != base {
+		t.Error("record-then-replay matrix differs from generated-trace run")
+	}
+	// The trace files now exist: this run is pure replay from disk.
+	if got := render(ro); got != base {
+		t.Error("replay-from-disk matrix differs from generated-trace run")
 	}
 }

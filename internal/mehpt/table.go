@@ -214,6 +214,17 @@ func (t *Table) Stats() Stats {
 	return s
 }
 
+// ScalarStats returns the accumulated counters without deep-copying the
+// per-way upsize slice or the reinsertion histogram (both left empty in the
+// copy). The per-run result aggregation reads only scalar fields, and the
+// deep copies were its last allocations.
+func (t *Table) ScalarStats() Stats {
+	s := t.stats
+	s.UpsizesPerWay = nil
+	s.Reinsertions = stats.Histogram{}
+	return s
+}
+
 // WaySizes returns each way's current slot count (Figure 12 reports the
 // byte sizes: slots × EntryBytes).
 func (t *Table) WaySizes() []uint64 {
@@ -298,6 +309,45 @@ func (t *Table) Lookup(key uint64) (uint64, bool) {
 		return t.stash[si].Val, true
 	}
 	return 0, false
+}
+
+// LookupBatch resolves len(keys) lookups in one software-pipelined sweep,
+// writing vals[i]/oks[i] for each key. Pass 1 computes the family-wide CRC
+// for a whole chunk so the hash table walks overlap across keys; pass 2
+// runs the way probes and the stash fallback. Results and statistics are
+// bit-identical to len(keys) sequential Lookup calls.
+//mehpt:hotpath
+func (t *Table) LookupBatch(keys []uint64, vals []uint64, oks []bool) {
+	const batchChunk = 64 // matches the translation pipeline's batch width
+	for len(keys) > 0 {
+		n := len(keys)
+		if n > batchChunk {
+			n = batchChunk
+		}
+		var crcs [batchChunk]uint64
+		for i, k := range keys[:n] {
+			crcs[i] = t.mixer.CRC(k)
+		}
+		for i, k := range keys[:n] {
+			t.stats.Lookups++
+			vals[i], oks[i] = 0, false
+			for wi, w := range t.ways {
+				idx := w.locateHash(t.mixer.HashAt(wi, crcs[i]))
+				if w.slots[idx].Key == k {
+					vals[i], oks[i] = w.slots[idx].Val, true
+					break
+				}
+			}
+			if !oks[i] {
+				if si := t.stashIndex(k); si >= 0 {
+					vals[i], oks[i] = t.stash[si].Val, true
+				}
+			}
+		}
+		keys = keys[n:]
+		vals = vals[n:]
+		oks = oks[n:]
+	}
 }
 
 // Insert stores key→val, resizing as needed. It returns the cycle cost of

@@ -1,0 +1,199 @@
+package mmu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// batchMMU is the surface both concrete MMUs expose to the batched loop.
+type batchMMU interface {
+	MMU
+	TranslateWalk(va addr.VirtAddr, missLat uint64) Result
+	TranslateBatch(vas []addr.VirtAddr, out []Result) (int, uint64)
+	TranslateBatchPAs(vas []addr.VirtAddr, pas []addr.PhysAddr) (int, uint64, uint64)
+}
+
+type vaMapper interface {
+	Map(vpn addr.VPN, s addr.PageSize, ppn addr.PPN) (uint64, error)
+}
+
+// batchPair builds two identical MMU+table pairs of the requested kind and
+// maps the same pages into both: mapped 4K pages, a 2M page, and a deliberate
+// unmapped hole so batches hit the fault path too.
+func batchPair(t *testing.T, kind string) (a, b batchMMU, vas []addr.VirtAddr) {
+	t.Helper()
+	build := func() (batchMMU, vaMapper) {
+		if kind == "Radix" {
+			m, pt, _ := newRadixMMU(t)
+			return m, pt
+		}
+		m, pt, _ := newHPTMMU(t)
+		return m, pt
+	}
+	am, apt := build()
+	bm, bpt := build()
+	base := addr.VirtAddr(0x4000_0000)
+	for i := 0; i < 512; i++ {
+		va := base + addr.VirtAddr(i)*4096
+		if _, err := apt.Map(va.PageNumber(addr.Page4K), addr.Page4K, addr.PPN(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bpt.Map(va.PageNumber(addr.Page4K), addr.Page4K, addr.PPN(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	huge := addr.VPN(0x8000_0000 >> 21)
+	apt.Map(huge, addr.Page2M, 7777)
+	bpt.Map(huge, addr.Page2M, 7777)
+
+	rng := rand.New(rand.NewSource(11))
+	vas = make([]addr.VirtAddr, 3000)
+	for i := range vas {
+		switch rng.Intn(10) {
+		case 0: // unmapped hole: faults
+			vas[i] = addr.VirtAddr(0x7000_0000) + addr.VirtAddr(rng.Intn(64))*4096
+		case 1: // 2M page
+			vas[i] = addr.VirtAddr(0x8000_0000) + addr.VirtAddr(rng.Intn(1<<21))
+		default:
+			vas[i] = base + addr.VirtAddr(rng.Intn(512))*4096
+		}
+	}
+	return am, bm, vas
+}
+
+// drainBatch drives vas through TranslateBatch in segments of varying width
+// (including width 1 and non-multiples of BatchWidth), completing each full
+// miss with TranslateWalk, and returns one Result per element.
+func drainBatch(m batchMMU, vas []addr.VirtAddr) []Result {
+	out := make([]Result, 0, len(vas))
+	var buf [BatchWidth]Result
+	segments := []int{1, 5, 31, 64, 64, 17}
+	pos, seg := 0, 0
+	for pos < len(vas) {
+		k := segments[seg%len(segments)]
+		seg++
+		if k > len(vas)-pos {
+			k = len(vas) - pos
+		}
+		n, missLat := m.TranslateBatch(vas[pos:pos+k], buf[:])
+		out = append(out, buf[:n]...)
+		if n < k {
+			out = append(out, m.TranslateWalk(vas[pos+n], missLat))
+			pos += n + 1
+			continue
+		}
+		pos += n
+	}
+	return out
+}
+
+// TestTranslateBatchMatchesScalar: the batched pipeline must be bit-identical
+// — per-element Result and final Stats — to scalar Translate calls on an
+// identically built MMU, for both MMU variants, across hit, miss, huge-page,
+// and fault elements.
+func TestTranslateBatchMatchesScalar(t *testing.T) {
+	for _, kind := range []string{"Radix", "HPT"} {
+		t.Run(kind, func(t *testing.T) {
+			scalar, batch, vas := batchPair(t, kind)
+			got := drainBatch(batch, vas)
+			if len(got) != len(vas) {
+				t.Fatalf("batch drained %d of %d elements", len(got), len(vas))
+			}
+			for i, va := range vas {
+				want := scalar.Translate(va)
+				if got[i] != want {
+					t.Fatalf("element %d (va %#x): batch %+v, scalar %+v", i, va, got[i], want)
+				}
+			}
+			if bs, ss := batch.Stats(), scalar.Stats(); bs != ss {
+				t.Errorf("stats diverge: batch %+v, scalar %+v", bs, ss)
+			}
+		})
+	}
+}
+
+// TestTranslateBatchPAsMatchesBatch: the fused physical-address entry point
+// must consume the same prefixes and produce the same addresses, summed
+// cycles, miss latencies, and statistics as the Result-shaped batch API.
+func TestTranslateBatchPAsMatchesBatch(t *testing.T) {
+	for _, kind := range []string{"Radix", "HPT"} {
+		t.Run(kind, func(t *testing.T) {
+			ref, fused, vas := batchPair(t, kind)
+			var buf [BatchWidth]Result
+			var pas [BatchWidth]addr.PhysAddr
+			segments := []int{64, 3, 31, 1, 64, 20}
+			pos, seg := 0, 0
+			for pos < len(vas) {
+				k := segments[seg%len(segments)]
+				seg++
+				if k > len(vas)-pos {
+					k = len(vas) - pos
+				}
+				chunk := vas[pos : pos+k]
+				rn, rMiss := ref.TranslateBatch(chunk, buf[:])
+				fn, latSum, fMiss := fused.TranslateBatchPAs(chunk, pas[:k])
+				if fn != rn || fMiss != rMiss {
+					t.Fatalf("pos %d: fused (n=%d miss=%d), batch (n=%d miss=%d)", pos, fn, fMiss, rn, rMiss)
+				}
+				var wantSum uint64
+				for i := 0; i < rn; i++ {
+					wantSum += buf[i].Cycles
+					if pas[i] != buf[i].PA {
+						t.Fatalf("pos %d+%d: pa %#x, batch %#x", pos, i, pas[i], buf[i].PA)
+					}
+				}
+				if latSum != wantSum {
+					t.Fatalf("pos %d: latSum %d, batch cycles %d", pos, latSum, wantSum)
+				}
+				if rn < k {
+					rw := ref.TranslateWalk(chunk[rn], rMiss)
+					fw := fused.TranslateWalk(chunk[rn], fMiss)
+					if rw != fw {
+						t.Fatalf("pos %d: walk results diverge: %+v vs %+v", pos, rw, fw)
+					}
+					pos += rn + 1
+					continue
+				}
+				pos += rn
+			}
+			if fs, rs := fused.Stats(), ref.Stats(); fs != rs {
+				t.Errorf("stats diverge: fused %+v, batch %+v", fs, rs)
+			}
+		})
+	}
+}
+
+// TestTranslateBatchPAsAllocFree guards the simulator's steady-state batch
+// entry point on both MMU variants: a warm full-width batch must not touch
+// the heap.
+func TestTranslateBatchPAsAllocFree(t *testing.T) {
+	build := map[string]func() (batchMMU, vaMapper){
+		"Radix": func() (batchMMU, vaMapper) { m, pt, _ := newRadixMMU(t); return m, pt },
+		"HPT":   func() (batchMMU, vaMapper) { m, pt, _ := newHPTMMU(t); return m, pt },
+	}
+	for _, kind := range []string{"Radix", "HPT"} {
+		t.Run(kind, func(t *testing.T) {
+			m, pt := build[kind]()
+			var vas [BatchWidth]addr.VirtAddr
+			var pas [BatchWidth]addr.PhysAddr
+			base := addr.VirtAddr(0x4000_0000)
+			for i := range vas {
+				vas[i] = base + addr.VirtAddr(i)*4096
+				if _, err := pt.Map(vas[i].PageNumber(addr.Page4K), addr.Page4K, addr.PPN(i+1)); err != nil {
+					t.Fatal(err)
+				}
+				m.Translate(vas[i]) // warm the TLBs
+			}
+			if n := testing.AllocsPerRun(1000, func() {
+				got, _, _ := m.TranslateBatchPAs(vas[:], pas[:])
+				if got != BatchWidth {
+					t.Fatalf("warm batch resolved %d/%d", got, BatchWidth)
+				}
+			}); n != 0 {
+				t.Errorf("TranslateBatchPAs allocates %v objects per call", n)
+			}
+		})
+	}
+}

@@ -79,37 +79,36 @@ func NewHPT(table HPTPageTable, mem *cache.Hierarchy) *HPT {
 func (m *HPT) Stats() Stats { return m.stats }
 
 // Translate resolves va, modelling the full latency of TLB lookup and, on a
-// miss, the hashed page walk.
+// miss, the hashed page walk. TLB hits complete from the cached payload (the
+// PPN stored at insert time, as hardware does); the page table is only
+// probed on the walk path. TLB coherence — every resident entry resolves in
+// the bound table with the same PPN — is the scrubber-enforced invariant
+// that makes the payload trustworthy.
 //mehpt:hotpath
 func (m *HPT) Translate(va addr.VirtAddr) Result {
 	m.stats.Translations++
-	var cycles uint64
-	for _, s := range addr.Sizes() {
-		r, lat := m.TLB.Lookup(va, s)
-		switch r {
-		case tlb.HitL1:
-			m.stats.L1Hits++
-			tr, ok := m.Table.Translate(va)
-			if !ok || tr.Size != s {
-				break // stale TLB path cannot happen; fall through to walk
-			}
-			return Result{PA: addr.Translate(va, tr.PPN, s), Size: s, Cycles: lat}
-		case tlb.HitL2:
-			m.stats.L2Hits++
-			tr, ok := m.Table.Translate(va)
-			if !ok || tr.Size != s {
-				break
-			}
-			return Result{PA: addr.Translate(va, tr.PPN, s), Size: s, Cycles: lat}
-		}
-		if cycles < lat {
-			cycles = lat // per-size TLB lookups proceed in parallel
-		}
+	r, s, pay, lat := m.TLB.LookupVA(va)
+	switch r {
+	case tlb.HitL1:
+		m.stats.L1Hits++
+		return Result{PA: addr.Translate(va, addr.PPN(pay), s), Size: s, Cycles: lat}
+	case tlb.HitL2:
+		m.stats.L2Hits++
+		return Result{PA: addr.Translate(va, addr.PPN(pay), s), Size: s, Cycles: lat}
 	}
-	// TLB miss: hashed page walk. CRC hash units run in parallel with the
-	// CWC lookup (both fixed-latency); the ME-HPT L2P access hides behind
-	// the CWC as well (Section V-D), so the pre-probe latency is
-	// max(hash, CWC) = CWC.
+	return m.walk(va, lat)
+}
+
+// walk performs the hashed page walk after a full TLB miss whose
+// accumulated (parallel-probe) miss latency is tlbLat. Both the scalar
+// Translate and the batch pipeline's TranslateWalk funnel through this,
+// which keeps their results and stats bit-identical.
+//
+// CRC hash units run in parallel with the CWC lookup (both fixed-latency);
+// the ME-HPT L2P access hides behind the CWC as well (Section V-D), so the
+// pre-probe latency is max(hash, CWC) = CWC.
+//mehpt:hotpath
+func (m *HPT) walk(va addr.VirtAddr, tlbLat uint64) Result {
 	m.stats.Walks++
 	walk := uint64(hashfn.Latency)
 	hit, cwtPA, cwcLat := m.CWC.Probe(va)
@@ -127,16 +126,85 @@ func (m *HPT) Translate(va addr.VirtAddr) Result {
 		// probing the HPTs.
 		m.stats.Faults++
 		m.stats.WalkCycles += walk
-		return Result{Cycles: cycles + walk, Fault: true}
+		return Result{Cycles: tlbLat + walk, Fault: true}
 	}
 	walk += m.Mem.AccessPT(probePA)
 	m.stats.WalkCycles += walk
-	m.TLB.Insert(va, tr.Size)
+	m.TLB.Insert(va, tr.Size, uint64(tr.PPN))
 	return Result{
 		PA:     addr.Translate(va, tr.PPN, tr.Size),
 		Size:   tr.Size,
-		Cycles: cycles + walk,
+		Cycles: tlbLat + walk,
 	}
+}
+
+// TranslateWalk completes the pending element a TranslateBatch call stopped
+// at: its TLB probes have already run (and been counted) inside the batch,
+// so only the page walk remains. missLat is the miss latency TranslateBatch
+// returned. Calling Translate instead would double-count the TLB probes.
+//mehpt:hotpath
+func (m *HPT) TranslateWalk(va addr.VirtAddr, missLat uint64) Result {
+	return m.walk(va, missLat)
+}
+
+// TranslateBatch resolves the longest TLB-hit prefix of vas into out,
+// software-pipelined through tlb.Hierarchy.LookupBatch, and returns the
+// resolved count n. Results, statistics, and timing are bit-identical to n
+// scalar Translate calls.
+//
+// When n < len(vas), element n missed every TLB: its probes have been
+// performed and counted, and the caller must finish it with
+// TranslateWalk(vas[n], missLat) — handling a fault exactly as it would on
+// a scalar Translate — before resuming the batch at n+1. A page walk ends
+// the batch because it touches the data-cache hierarchy, whose state the
+// caller's pending data accesses also touch; everything before it commutes
+// (TLB hits touch only TLB state). At most tlb.BatchWidth elements are
+// consumed per call.
+//mehpt:hotpath
+func (m *HPT) TranslateBatch(vas []addr.VirtAddr, out []Result) (int, uint64) {
+	if len(vas) > tlb.BatchWidth {
+		vas = vas[:tlb.BatchWidth]
+	}
+	var levels [tlb.BatchWidth]tlb.Result
+	var sizes [tlb.BatchWidth]addr.PageSize
+	var pays, lats [tlb.BatchWidth]uint64
+	n, missLat := m.TLB.LookupBatch(vas, levels[:], sizes[:], pays[:], lats[:])
+	for i := 0; i < n; i++ {
+		m.stats.Translations++
+		if levels[i] == tlb.HitL1 {
+			m.stats.L1Hits++
+		} else {
+			m.stats.L2Hits++
+		}
+		s := sizes[i]
+		out[i] = Result{PA: addr.Translate(vas[i], addr.PPN(pays[i]), s), Size: s, Cycles: lats[i]}
+	}
+	if n < len(vas) {
+		m.stats.Translations++ // element n entered translation; its walk is the caller's
+	}
+	return n, missLat
+}
+
+// TranslateBatchPAs is TranslateBatch fused for the simulator's batched
+// loop: resolved elements land directly in pas as physical addresses, and
+// the per-element Result metadata collapses into the summed translation
+// cycles (all the loop accumulates). State updates and final stats are
+// bit-identical to TranslateBatch; only the output shape differs. The
+// stop-at-first-full-miss contract is TranslateBatch's: when n < len(vas),
+// finish element n with TranslateWalk(vas[n], missLat).
+//mehpt:hotpath
+func (m *HPT) TranslateBatchPAs(vas []addr.VirtAddr, pas []addr.PhysAddr) (int, uint64, uint64) {
+	if len(vas) > tlb.BatchWidth {
+		vas = vas[:tlb.BatchWidth]
+	}
+	n, l1, latSum, missLat := m.TLB.LookupBatchPAs(vas, pas)
+	m.stats.Translations += uint64(n)
+	m.stats.L1Hits += l1
+	m.stats.L2Hits += uint64(n) - l1
+	if n < len(vas) {
+		m.stats.Translations++ // element n entered translation; its walk is the caller's
+	}
+	return n, latSum, missLat
 }
 
 // Invalidate drops TLB and CWC state for va (unmap, page-size promotion).
@@ -227,31 +295,27 @@ func NewRadix(table *radix.PageTable, mem *cache.Hierarchy) *Radix {
 func (m *Radix) Stats() Stats { return m.stats }
 
 // Translate resolves va through the TLBs and, on a miss, a sequential tree
-// walk whose upper levels the PWCs can skip.
+// walk whose upper levels the PWCs can skip. As in the HPT variant, TLB
+// hits complete from the cached PPN payload; only walks touch the tree.
 //mehpt:hotpath
 func (m *Radix) Translate(va addr.VirtAddr) Result {
 	m.stats.Translations++
-	var cycles uint64
-	for _, s := range addr.Sizes() {
-		r, lat := m.TLB.Lookup(va, s)
-		switch r {
-		case tlb.HitL1:
-			m.stats.L1Hits++
-			tr, ok := m.Table.Translate(va)
-			if ok && tr.Size == s {
-				return Result{PA: addr.Translate(va, tr.PPN, s), Size: s, Cycles: lat}
-			}
-		case tlb.HitL2:
-			m.stats.L2Hits++
-			tr, ok := m.Table.Translate(va)
-			if ok && tr.Size == s {
-				return Result{PA: addr.Translate(va, tr.PPN, s), Size: s, Cycles: lat}
-			}
-		}
-		if cycles < lat {
-			cycles = lat
-		}
+	r, s, pay, lat := m.TLB.LookupVA(va)
+	switch r {
+	case tlb.HitL1:
+		m.stats.L1Hits++
+		return Result{PA: addr.Translate(va, addr.PPN(pay), s), Size: s, Cycles: lat}
+	case tlb.HitL2:
+		m.stats.L2Hits++
+		return Result{PA: addr.Translate(va, addr.PPN(pay), s), Size: s, Cycles: lat}
 	}
+	return m.walk(va, lat)
+}
+
+// walk performs the radix tree walk after a full TLB miss with accumulated
+// miss latency tlbLat; shared verbatim by Translate and TranslateWalk.
+//mehpt:hotpath
+func (m *Radix) walk(va addr.VirtAddr, tlbLat uint64) Result {
 	m.stats.Walks++
 	pas, tr, ok := m.Table.AppendWalkAddrs(m.walkBuf[:0], va)
 	// The PWCs are probed in parallel: skip the deepest cached prefix.
@@ -274,7 +338,7 @@ func (m *Radix) Translate(va addr.VirtAddr) Result {
 	m.stats.WalkCycles += walk
 	if !ok {
 		m.stats.Faults++
-		return Result{Cycles: cycles + walk, Fault: true}
+		return Result{Cycles: tlbLat + walk, Fault: true}
 	}
 	// Refill the PWCs with the prefixes this walk resolved.
 	if len(pas) >= 2 {
@@ -286,12 +350,65 @@ func (m *Radix) Translate(va addr.VirtAddr) Result {
 	if len(pas) >= 4 {
 		m.pwcs[0].insert(va)
 	}
-	m.TLB.Insert(va, tr.Size)
+	m.TLB.Insert(va, tr.Size, uint64(tr.PPN))
 	return Result{
 		PA:     addr.Translate(va, tr.PPN, tr.Size),
 		Size:   tr.Size,
-		Cycles: cycles + walk,
+		Cycles: tlbLat + walk,
 	}
+}
+
+// TranslateWalk completes the pending element a TranslateBatch call stopped
+// at; see HPT.TranslateWalk for the contract.
+//mehpt:hotpath
+func (m *Radix) TranslateWalk(va addr.VirtAddr, missLat uint64) Result {
+	return m.walk(va, missLat)
+}
+
+// TranslateBatch resolves the longest TLB-hit prefix of vas into out; see
+// HPT.TranslateBatch for the contract — the two are line-for-line the same
+// pipeline over their shared TLB hierarchy.
+//mehpt:hotpath
+func (m *Radix) TranslateBatch(vas []addr.VirtAddr, out []Result) (int, uint64) {
+	if len(vas) > tlb.BatchWidth {
+		vas = vas[:tlb.BatchWidth]
+	}
+	var levels [tlb.BatchWidth]tlb.Result
+	var sizes [tlb.BatchWidth]addr.PageSize
+	var pays, lats [tlb.BatchWidth]uint64
+	n, missLat := m.TLB.LookupBatch(vas, levels[:], sizes[:], pays[:], lats[:])
+	for i := 0; i < n; i++ {
+		m.stats.Translations++
+		if levels[i] == tlb.HitL1 {
+			m.stats.L1Hits++
+		} else {
+			m.stats.L2Hits++
+		}
+		s := sizes[i]
+		out[i] = Result{PA: addr.Translate(vas[i], addr.PPN(pays[i]), s), Size: s, Cycles: lats[i]}
+	}
+	if n < len(vas) {
+		m.stats.Translations++ // element n entered translation; its walk is the caller's
+	}
+	return n, missLat
+}
+
+// TranslateBatchPAs is the Radix twin of HPT.TranslateBatchPAs: the fused
+// batch entry point the simulator's loop drives, bit-identical in state and
+// stats to TranslateBatch.
+//mehpt:hotpath
+func (m *Radix) TranslateBatchPAs(vas []addr.VirtAddr, pas []addr.PhysAddr) (int, uint64, uint64) {
+	if len(vas) > tlb.BatchWidth {
+		vas = vas[:tlb.BatchWidth]
+	}
+	n, l1, latSum, missLat := m.TLB.LookupBatchPAs(vas, pas)
+	m.stats.Translations += uint64(n)
+	m.stats.L1Hits += l1
+	m.stats.L2Hits += uint64(n) - l1
+	if n < len(vas) {
+		m.stats.Translations++ // element n entered translation; its walk is the caller's
+	}
+	return n, latSum, missLat
 }
 
 // Invalidate drops TLB state for va.
@@ -321,4 +438,35 @@ type MMU interface {
 	Translate(va addr.VirtAddr) Result
 	Invalidate(va addr.VirtAddr, s addr.PageSize)
 	Stats() Stats
+}
+
+// BatchWidth is the translation pipeline width; batch callers size their
+// buffers to it. Re-exported from the TLB layer, which anchors the value.
+const BatchWidth = tlb.BatchWidth
+
+// TranslateBatchGeneric is the batch entry point for MMU implementations
+// without a pipelined path: it translates elements of vas in scalar order
+// until one faults, filling out[i] with each Result. It returns the number
+// of non-faulting translations n; when n < len(vas), out[n] holds the
+// faulted Result (its cycles already charged) and the caller services the
+// fault and retries vas[n] exactly as it would after a scalar Translate.
+//
+// Unlike the concrete batch paths, every returned element is fully
+// translated — walks included — so it is only interleaving-safe for MMUs
+// whose walks do not touch state the caller's deferred per-element work
+// (e.g. data-cache accesses) also touches. The simulator's generic trace
+// loop therefore keeps per-element scalar interleaving and batches only
+// trace decode; this helper serves drivers that do no per-element work
+// between translations.
+func TranslateBatchGeneric(m MMU, vas []addr.VirtAddr, out []Result) int {
+	if len(vas) > tlb.BatchWidth {
+		vas = vas[:tlb.BatchWidth]
+	}
+	for i, va := range vas {
+		out[i] = m.Translate(va)
+		if out[i].Fault {
+			return i
+		}
+	}
+	return len(vas)
 }

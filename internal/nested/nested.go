@@ -156,7 +156,7 @@ func (m *MMU) Stats() Stats { return m.stats }
 func (m *MMU) Translate(gva addr.VirtAddr) (addr.PhysAddr, uint64, bool) {
 	m.stats.Translations++
 	vpn := gva.PageNumber(addr.Page4K)
-	if m.ntlb.Lookup(vpn) {
+	if _, ok := m.ntlb.Lookup(vpn); ok {
 		m.stats.TLBHits++
 		// The nested TLB holds the complete translation; re-derive the hPA
 		// functionally.
@@ -171,7 +171,7 @@ func (m *MMU) Translate(gva addr.VirtAddr) (addr.PhysAddr, uint64, bool) {
 		m.stats.Faults++
 		return 0, cycles, false
 	}
-	m.ntlb.Insert(vpn)
+	m.ntlb.Insert(vpn, 0)
 	return hpa, cycles, true
 }
 

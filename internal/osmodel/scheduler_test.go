@@ -61,10 +61,10 @@ func TestSwitchFlushesTLBs(t *testing.T) {
 	pa, _ := newProc(t, 1, 100)
 	pb, _ := newProc(t, 2, 100)
 	va := addr.VirtAddr(0x1000)
-	pa.TLBs.Insert(va, addr.Page4K)
+	pa.TLBs.Insert(va, addr.Page4K, 1)
 	s := NewScheduler(DefaultSwitchCosts(), pa, pb)
 	s.Switch(1)
-	if r, _ := pa.TLBs.Lookup(va, addr.Page4K); r != tlb.MissAll {
+	if r, _, _ := pa.TLBs.Lookup(va, addr.Page4K); r != tlb.MissAll {
 		t.Error("outgoing process's TLBs not flushed")
 	}
 }
@@ -73,12 +73,12 @@ func TestNoFlushWhenDisabled(t *testing.T) {
 	pa, _ := newProc(t, 1, 100)
 	pb, _ := newProc(t, 2, 100)
 	va := addr.VirtAddr(0x1000)
-	pa.TLBs.Insert(va, addr.Page4K)
+	pa.TLBs.Insert(va, addr.Page4K, 1)
 	costs := DefaultSwitchCosts()
 	costs.FlushTLBs = false // ASID-tagged TLBs
 	s := NewScheduler(costs, pa, pb)
 	s.Switch(1)
-	if r, _ := pa.TLBs.Lookup(va, addr.Page4K); r == tlb.MissAll {
+	if r, _, _ := pa.TLBs.Lookup(va, addr.Page4K); r == tlb.MissAll {
 		t.Error("TLBs flushed despite ASIDs")
 	}
 }
@@ -269,9 +269,9 @@ func TestMultiCoreVisitFlushesDisplacedTLBs(t *testing.T) {
 	va := addr.VirtAddr(0x1000)
 	m := NewMultiCore(DefaultSwitchCosts(), 1, 1, ps...)
 	m.Visit(0)
-	ps[0].TLBs.Insert(va, addr.Page4K)
+	ps[0].TLBs.Insert(va, addr.Page4K, 1)
 	m.Visit(1)
-	if r, _ := ps[0].TLBs.Lookup(va, addr.Page4K); r != tlb.MissAll {
+	if r, _, _ := ps[0].TLBs.Lookup(va, addr.Page4K); r != tlb.MissAll {
 		t.Error("displaced process's TLBs not flushed")
 	}
 }

@@ -27,6 +27,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"repro/internal/addr"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/phys"
 	"repro/internal/pt"
 	"repro/internal/radix"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -158,6 +160,16 @@ type Machine struct {
 	table    pageTable
 	cache    *cache.Hierarchy
 	injector *inject.Injector // nil unless Config.Inject is set
+	// Batch-loop scratch, allocated once with the machine: the buffers
+	// cross the vaSource interface boundary, so as locals they would
+	// escape to the heap on every Run* call. A machine runs one trace
+	// loop at a time, so sharing them is safe.
+	//mehpt:transient -- per-batch scratch, dead between NextBatch calls
+	vaBuf [mmu.BatchWidth]addr.VirtAddr
+	//mehpt:transient -- per-batch scratch, dead between batches
+	paBuf [mmu.BatchWidth]addr.PhysAddr
+	//mehpt:transient -- per-batch scratch, dead between batches
+	latBuf [mmu.BatchWidth]uint64
 }
 
 // NewMachine builds the machine for cfg, pre-fragmenting memory.
@@ -274,21 +286,33 @@ func (m *Machine) Run() Result {
 		}
 	}
 
-	trace := m.cfg.Workload.NewTrace(m.cfg.Seed+7, m.cfg.Accesses)
-	// The Org dispatch is hoisted out of the access loop: each organization
-	// gets a loop over its concrete MMU type, so the per-access Translate
-	// call needs no interface lookup and the per-access counters accumulate
-	// in registers instead of Result fields.
-	switch mm := m.mmu.(type) {
-	case *mmu.HPT:
-		m.traceLoopHPT(trace, &res, mm)
-	case *mmu.Radix:
-		m.traceLoopRadix(trace, &res, mm)
-	default:
-		m.traceLoopGeneric(trace, &res)
-	}
+	tr := m.cfg.Workload.NewTrace(m.cfg.Seed+7, m.cfg.Accesses)
+	m.runSource(tr, &res)
 	m.finish(&res)
 	return res
+}
+
+// vaSource feeds the trace loops a batch of virtual addresses at a time;
+// a short (including zero) fill ends the run. workload.Trace satisfies it
+// directly; funcSource and streamSource adapt the other producers.
+type vaSource interface {
+	//mehpt:hotpath
+	NextBatch(out []addr.VirtAddr) int
+}
+
+// runSource drives src through the access loop. The Org dispatch is hoisted
+// out of the loop: each organization gets a loop over its concrete MMU type,
+// so the per-batch TranslateBatch call needs no interface lookup and the
+// per-access counters accumulate in registers instead of Result fields.
+func (m *Machine) runSource(src vaSource, res *Result) {
+	switch mm := m.mmu.(type) {
+	case *mmu.HPT:
+		m.traceLoopHPT(src, res, mm)
+	case *mmu.Radix:
+		m.traceLoopRadix(src, res, mm)
+	default:
+		m.traceLoopGeneric(src, res)
+	}
 }
 
 // serviceFault runs the OS fault handler for va, accumulating its cycle
@@ -305,32 +329,62 @@ func (m *Machine) serviceFault(va addr.VirtAddr, res *Result) bool {
 }
 
 // traceLoopHPT is the timed access loop over the hashed-page-table MMU.
-// traceLoopRadix and traceLoopGeneric are the same loop body over their
-// respective MMU types; all three must stay in lockstep.
+// traceLoopRadix is the same loop body over the radix MMU type; the two must
+// stay in lockstep (traceLoopGeneric keeps the scalar interleave).
+//
+// The loop is batched: TranslateBatch resolves the longest TLB-hit run in
+// one pipelined pass, AccessBatch replays the run's data accesses the same
+// way, and only the element that misses every TLB drops to the scalar
+// walk/fault path. The reorder is invisible — TLB hits touch only TLB state
+// and data accesses only cache state, so hits-then-accesses commutes with
+// the scalar interleave, and the batch stops at the first page walk (which
+// does touch the data caches) so walks stay in scalar order. The batch-vs-
+// scalar differential tests in batch_test.go pin this bit-for-bit.
 //mehpt:hotpath
-func (m *Machine) traceLoopHPT(trace *workload.Trace, res *Result, mm *mmu.HPT) {
+func (m *Machine) traceLoopHPT(src vaSource, res *Result, mm *mmu.HPT) {
 	var accesses, xlat, data uint64
+	vaBuf, paBuf, latBuf := &m.vaBuf, &m.paBuf, &m.latBuf
+loop:
 	for {
-		va, ok := trace.Next()
-		if !ok {
+		n := src.NextBatch(vaBuf[:])
+		if n == 0 {
 			break
 		}
-		accesses++
-		r := mm.Translate(va)
-		xlat += r.Cycles
-		if r.Fault {
-			if !m.serviceFault(va, res) {
+		batch := vaBuf[:n]
+		for len(batch) > 0 {
+			done, latSum, missLat := mm.TranslateBatchPAs(batch, paBuf[:])
+			xlat += latSum
+			if done > 0 {
+				accesses += uint64(done)
+				m.cache.AccessBatch(paBuf[:done], latBuf[:done])
+				for i := 0; i < done; i++ {
+					data += latBuf[i] / DataMLP
+				}
+			}
+			if done == len(batch) {
 				break
 			}
-			r = mm.Translate(va)
+			// Element `done` missed every TLB inside the batch; finish its
+			// walk (and any fault) exactly as the scalar loop would.
+			va := batch[done]
+			accesses++
+			r := mm.TranslateWalk(va, missLat)
 			xlat += r.Cycles
 			if r.Fault {
-				res.Failed = true
-				res.FailReason = "fault persisted after OS handling"
-				break
+				if !m.serviceFault(va, res) {
+					break loop
+				}
+				r = mm.Translate(va)
+				xlat += r.Cycles
+				if r.Fault {
+					res.Failed = true
+					res.FailReason = "fault persisted after OS handling"
+					break loop
+				}
 			}
+			data += m.cache.Access(r.PA) / DataMLP
+			batch = batch[done+1:]
 		}
-		data += m.cache.Access(r.PA) / DataMLP
 	}
 	res.Accesses += accesses
 	res.XlatCycles += xlat
@@ -339,61 +393,87 @@ func (m *Machine) traceLoopHPT(trace *workload.Trace, res *Result, mm *mmu.HPT) 
 
 // traceLoopRadix mirrors traceLoopHPT for the radix MMU.
 //mehpt:hotpath
-func (m *Machine) traceLoopRadix(trace *workload.Trace, res *Result, mm *mmu.Radix) {
+func (m *Machine) traceLoopRadix(src vaSource, res *Result, mm *mmu.Radix) {
 	var accesses, xlat, data uint64
+	vaBuf, paBuf, latBuf := &m.vaBuf, &m.paBuf, &m.latBuf
+loop:
 	for {
-		va, ok := trace.Next()
-		if !ok {
+		n := src.NextBatch(vaBuf[:])
+		if n == 0 {
 			break
 		}
-		accesses++
-		r := mm.Translate(va)
-		xlat += r.Cycles
-		if r.Fault {
-			if !m.serviceFault(va, res) {
+		batch := vaBuf[:n]
+		for len(batch) > 0 {
+			done, latSum, missLat := mm.TranslateBatchPAs(batch, paBuf[:])
+			xlat += latSum
+			if done > 0 {
+				accesses += uint64(done)
+				m.cache.AccessBatch(paBuf[:done], latBuf[:done])
+				for i := 0; i < done; i++ {
+					data += latBuf[i] / DataMLP
+				}
+			}
+			if done == len(batch) {
 				break
 			}
-			r = mm.Translate(va)
+			va := batch[done]
+			accesses++
+			r := mm.TranslateWalk(va, missLat)
 			xlat += r.Cycles
 			if r.Fault {
-				res.Failed = true
-				res.FailReason = "fault persisted after OS handling"
-				break
+				if !m.serviceFault(va, res) {
+					break loop
+				}
+				r = mm.Translate(va)
+				xlat += r.Cycles
+				if r.Fault {
+					res.Failed = true
+					res.FailReason = "fault persisted after OS handling"
+					break loop
+				}
 			}
+			data += m.cache.Access(r.PA) / DataMLP
+			batch = batch[done+1:]
 		}
-		data += m.cache.Access(r.PA) / DataMLP
 	}
 	res.Accesses += accesses
 	res.XlatCycles += xlat
 	res.DataCycles += data
 }
 
-// traceLoopGeneric mirrors traceLoopHPT over the MMU interface, for MMU
-// implementations the fast paths do not know about.
+// traceLoopGeneric mirrors the scalar loop over the MMU interface, for MMU
+// implementations the fast paths do not know about. Only the trace decode is
+// batched: an unknown MMU's walks may touch arbitrary machine state, so the
+// per-element Translate/Access interleave must stay in scalar order (see
+// mmu.TranslateBatchGeneric for the same constraint).
 //mehpt:hotpath
-func (m *Machine) traceLoopGeneric(trace *workload.Trace, res *Result) {
+func (m *Machine) traceLoopGeneric(src vaSource, res *Result) {
 	var accesses, xlat, data uint64
+	vaBuf := &m.vaBuf
+loop:
 	for {
-		va, ok := trace.Next()
-		if !ok {
+		n := src.NextBatch(vaBuf[:])
+		if n == 0 {
 			break
 		}
-		accesses++
-		r := m.mmu.Translate(va)
-		xlat += r.Cycles
-		if r.Fault {
-			if !m.serviceFault(va, res) {
-				break
-			}
-			r = m.mmu.Translate(va)
+		for _, va := range vaBuf[:n] {
+			accesses++
+			r := m.mmu.Translate(va)
 			xlat += r.Cycles
 			if r.Fault {
-				res.Failed = true
-				res.FailReason = "fault persisted after OS handling"
-				break
+				if !m.serviceFault(va, res) {
+					break loop
+				}
+				r = m.mmu.Translate(va)
+				xlat += r.Cycles
+				if r.Fault {
+					res.Failed = true
+					res.FailReason = "fault persisted after OS handling"
+					break loop
+				}
 			}
+			data += m.cache.Access(r.PA) / DataMLP
 		}
-		data += m.cache.Access(r.PA) / DataMLP
 	}
 	res.Accesses += accesses
 	res.XlatCycles += xlat
@@ -453,6 +533,55 @@ func (m *Machine) RunAddresses(gen func(emit func(va addr.VirtAddr))) Result {
 	})
 	m.finish(&res)
 	return res
+}
+
+// funcSource adapts a plain fill callback to vaSource.
+type funcSource func(out []addr.VirtAddr) int
+
+//mehpt:hotpath
+func (f funcSource) NextBatch(out []addr.VirtAddr) int {
+	return f(out) //mehpt:allow hotalloc -- the callback is the caller's trace generator, outside the modeled pipeline; one dynamic call per BatchWidth accesses
+}
+
+// RunBatches drives the machine from a batch producer: next fills the
+// buffer it is handed and returns how many addresses it produced; a short
+// (including zero) fill ends the run. This is the batched counterpart of
+// RunAddresses — same access semantics, but the machine runs its pipelined
+// loop instead of one emit call per reference.
+func (m *Machine) RunBatches(next func(out []addr.VirtAddr) int) Result {
+	res := Result{Org: m.cfg.Org, Workload: "stream", THP: m.cfg.THP}
+	m.runSource(funcSource(next), &res)
+	m.finish(&res)
+	return res
+}
+
+// streamSource adapts a trace.Stream to vaSource, stashing the terminal
+// error (anything but clean io.EOF) for RunStream to report.
+type streamSource struct {
+	s trace.Stream
+	//mehpt:transient -- replay error latch, only meaningful within one RunStream call
+	err error
+}
+
+//mehpt:hotpath
+func (s *streamSource) NextBatch(out []addr.VirtAddr) int {
+	n, err := s.s.NextBatch(out)
+	if err != nil && err != io.EOF {
+		s.err = err
+	}
+	return n
+}
+
+// RunStream replays a recorded trace (either format; see trace.OpenStream)
+// through the machine. The returned error is nil for a cleanly-terminated
+// trace; a decode failure ends the run early and is returned alongside the
+// results accumulated up to that point.
+func (m *Machine) RunStream(src trace.Stream) (Result, error) {
+	res := Result{Org: m.cfg.Org, Workload: "stream", THP: m.cfg.THP}
+	ss := &streamSource{s: src}
+	m.runSource(ss, &res)
+	m.finish(&res)
+	return res, ss.err
 }
 
 // Table returns the machine's page table (for experiment inspection before

@@ -94,19 +94,22 @@ func (m *Machine) CheckTables() []string {
 func (m *Machine) CheckShardTLBs() []string {
 	var bad []string
 	for core, sh := range m.shards {
-		resolve := func(vpn addr.VPN, s addr.PageSize) bool { return false }
+		resolve := func(vpn addr.VPN, s addr.PageSize) (uint64, bool) { return 0, false }
 		switch {
 		case sh.hpt != nil && sh.hpt.Table != nil:
 			table := sh.hpt.Table
-			resolve = func(vpn addr.VPN, s addr.PageSize) bool {
+			resolve = func(vpn addr.VPN, s addr.PageSize) (uint64, bool) {
 				tr, ok := table.Translate(vpn.Addr(s))
-				return ok && tr.Size == s
+				if !ok || tr.Size != s {
+					return 0, false
+				}
+				return uint64(tr.PPN), true
 			}
 		case sh.rdx != nil && sh.rdx.Table != nil:
 			table := sh.rdx.Table
-			resolve = func(vpn addr.VPN, s addr.PageSize) bool {
-				_, ok := table.TranslateSize(vpn, s)
-				return ok
+			resolve = func(vpn addr.VPN, s addr.PageSize) (uint64, bool) {
+				ppn, ok := table.TranslateSize(vpn, s)
+				return uint64(ppn), ok
 			}
 		case sh.hpt == nil && sh.rdx == nil:
 			continue
@@ -114,14 +117,27 @@ func (m *Machine) CheckShardTLBs() []string {
 			// Unbound shard: its TLBs were never filled (bind flushes), so
 			// any resident entry is already a violation; resolve stays false.
 		}
-		sh.tlbs().VisitEntries(func(vpn addr.VPN, s addr.PageSize, level int) {
-			if resolve(vpn, s) {
+		sh.tlbs().VisitEntries(func(vpn addr.VPN, s addr.PageSize, level int, pay uint64) {
+			if ppn, ok := resolve(vpn, s); ok {
+				if ppn == pay {
+					return
+				}
+				// The MMU completes TLB hits from the cached payload, so a
+				// payload that drifted from the table is a silently wrong
+				// translation, not just a bookkeeping error.
+				bad = append(bad, fmt.Sprintf("core %d: L%d TLB caches %v page %#x with PPN %#x but the table resolves %#x",
+					core, level, s, uint64(vpn), pay, ppn))
 				return
 			}
 			// Shared-segment pages translate through the concurrent table,
 			// not the per-process organization.
 			if s == addr.Page4K {
-				if _, ok := m.shared.table.Lookup(uint64(vpn)); ok {
+				if ppn, ok := m.shared.table.Lookup(uint64(vpn)); ok {
+					if ppn == pay {
+						return
+					}
+					bad = append(bad, fmt.Sprintf("core %d: L%d TLB caches shared page %#x with PPN %#x but the concurrent table resolves %#x",
+						core, level, uint64(vpn), pay, ppn))
 					return
 				}
 			}

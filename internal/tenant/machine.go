@@ -18,6 +18,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/snapshot"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -47,8 +48,8 @@ type Machine struct {
 	sched    *osmodel.MultiCore
 	shared   *sharedRegion
 	injector *inject.Injector
-	sd   stats.Shootdowns
-	live int
+	sd       stats.Shootdowns
+	live     int
 	//mehpt:transient -- chaos-harness kill switch, armed per run via SetCrasher; a recovered machine starts disarmed by design
 	crasher *inject.Crasher
 }
@@ -191,9 +192,12 @@ func (m *Machine) Collect() *Result {
 
 // ProcState is one tenant's checkpointed state.
 type ProcState struct {
-	Res     ProcResult
-	Left    uint64
+	Res  ProcResult
+	Left uint64
+	// Exactly one of Trace (generated stream position) and Replay (recorded
+	// stream cursor) is meaningful, matching Config.Replay at capture time.
 	Trace   workload.TraceState
+	Replay  uint64
 	Overlay snapshot.SourceState
 	Table   snapshot.SourceState // table-config generator; zero for radix
 	Cache   cache.HierarchyState
@@ -248,10 +252,14 @@ func (m *Machine) State() *MachineState {
 		ps := ProcState{
 			Res:     p.res,
 			Left:    p.left,
-			Trace:   p.trace.State(),
 			Overlay: p.overlaySrc.State(),
 			Cache:   p.cache.State(),
 			OS:      p.os.Stats(),
+		}
+		if p.trace != nil {
+			ps.Trace = p.trace.State()
+		} else {
+			ps.Replay = p.replayPos
 		}
 		// The typed failure chain is in-memory context for errors.Is
 		// assertions; the string form survives the checkpoint.
@@ -373,11 +381,24 @@ func restoreProcess(cfg Config, pid int, spec workload.Spec, pool *phys.Striped,
 		id:         pid,
 		spec:       spec,
 		cache:      hier,
-		trace:      spec.RestoreTrace(ps.Trace),
 		rng:        rand.New(overlaySrc),
 		overlaySrc: overlaySrc,
 		left:       ps.Left,
 		res:        ps.Res,
+	}
+	if cfg.Replay != nil {
+		sec, ok := trace.FindSection(cfg.Replay, uint64(pid))
+		if !ok {
+			return nil, fmt.Errorf("%w: replay trace has no section for pid %d", ErrMismatch, pid)
+		}
+		if ps.Replay > uint64(len(sec.VAs)) {
+			return nil, fmt.Errorf("%w: proc %d replay cursor %d beyond %d records",
+				ErrMismatch, pid, ps.Replay, len(sec.VAs))
+		}
+		p.replay = sec.VAs
+		p.replayPos = ps.Replay
+	} else {
+		p.trace = spec.RestoreTrace(ps.Trace)
 	}
 	hashSeed := uint64(procSeed)*2654435761 + 12345
 	switch cfg.Org {

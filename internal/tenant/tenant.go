@@ -42,6 +42,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 
 	"repro/internal/addr"
@@ -59,6 +60,7 @@ import (
 	"repro/internal/snapshot"
 	"repro/internal/stats"
 	"repro/internal/tlb"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -107,6 +109,12 @@ type Config struct {
 	// Inject, when non-empty, is an inject.Parse policy applied to the
 	// shared pool's allocations.
 	Inject string
+	// Replay, when non-nil, supplies every tenant's private access stream
+	// from a recorded binary trace (one section per PID; see RecordTraces)
+	// instead of the statistical generators. A machine replaying the trace
+	// RecordTraces wrote for the same Config lands on the identical
+	// fingerprint — the trace seed tree is the same either way.
+	Replay []trace.Section
 }
 
 // withDefaults fills the zero-value knobs.
@@ -254,13 +262,17 @@ type process struct {
 	id    int
 	spec  workload.Spec
 	table osmodel.PageTable
-	hpt   mmu.HPTPageTable  // non-nil for ECPT/ME-HPT
-	rpt   *radix.PageTable  // non-nil for Radix
+	hpt   mmu.HPTPageTable // non-nil for ECPT/ME-HPT
+	rpt   *radix.PageTable // non-nil for Radix
 	os    *osmodel.OS
 	cache *cache.Hierarchy
-	trace *workload.Trace
-	rng   *rand.Rand // shared-overlay draws, private to this tenant
-	left  uint64
+	// Exactly one of trace (generated stream) and replay (recorded stream)
+	// is set, per Config.Replay.
+	trace     *workload.Trace
+	replay    []addr.VirtAddr
+	replayPos uint64
+	rng       *rand.Rand // shared-overlay draws, private to this tenant
+	left      uint64
 
 	// Counting sources under the tenant's generators, so a checkpoint can
 	// record exact stream positions: overlaySrc feeds rng, tableSrc feeds
@@ -346,6 +358,31 @@ func Run(cfg Config) (*Result, error) {
 	return m.Collect(), nil
 }
 
+// RecordTraces writes every tenant's private access stream as one binary
+// trace with a per-PID section table (trace.WriteBinary). The streams are
+// regenerated from cfg's seed tree — the same derivation newProcess uses —
+// so a machine run with Config.Replay set to the recorded sections produces
+// the identical fingerprint as a generated-trace run of the same Config.
+func RecordTraces(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	specs := workload.Specs(cfg.Scale)
+	sections := make([]trace.Section, cfg.Processes)
+	for pid := 0; pid < cfg.Processes; pid++ {
+		procSeed := runner.DeriveSubSeed(cfg.Seed, "proc", uint64(pid))
+		tr := specs[pid%len(specs)].NewTrace(runner.DeriveSubSeed(procSeed, "trace", 0), cfg.AccessesPerProc)
+		vas := make([]addr.VirtAddr, 0, cfg.AccessesPerProc)
+		for {
+			va, ok := tr.Next()
+			if !ok {
+				break
+			}
+			vas = append(vas, va)
+		}
+		sections[pid] = trace.Section{PID: uint64(pid), VAs: vas}
+	}
+	return trace.WriteBinary(w, sections)
+}
+
 // newProcess builds one tenant: its page table over a pool view, OS layer,
 // private cache slice, trace, and overlay generator.
 func newProcess(cfg Config, pid int, spec workload.Spec, pool *phys.Striped) (*process, error) {
@@ -356,10 +393,22 @@ func newProcess(cfg Config, pid int, spec workload.Spec, pool *phys.Striped) (*p
 		id:         pid,
 		spec:       spec,
 		cache:      cache.NewHierarchy(tenantCacheConfig()),
-		trace:      spec.NewTrace(runner.DeriveSubSeed(procSeed, "trace", 0), cfg.AccessesPerProc),
 		rng:        rand.New(overlaySrc),
 		overlaySrc: overlaySrc,
 		left:       cfg.AccessesPerProc,
+	}
+	if cfg.Replay != nil {
+		sec, ok := trace.FindSection(cfg.Replay, uint64(pid))
+		if !ok {
+			return nil, fmt.Errorf("tenant: replay trace has no section for pid %d", pid)
+		}
+		if uint64(len(sec.VAs)) < cfg.AccessesPerProc {
+			return nil, fmt.Errorf("tenant: replay section for pid %d holds %d records, need %d",
+				pid, len(sec.VAs), cfg.AccessesPerProc)
+		}
+		p.replay = sec.VAs
+	} else {
+		p.trace = spec.NewTrace(runner.DeriveSubSeed(procSeed, "trace", 0), cfg.AccessesPerProc)
 	}
 	p.res = ProcResult{PID: pid, Workload: spec.Name}
 	hashSeed := uint64(procSeed)*2654435761 + 12345
@@ -455,13 +504,24 @@ func runQuantum(cfg Config, p *process, sh *shard, shared *sharedRegion) {
 
 // privateAccess replays one trace access through the shard MMU, faulting
 // on demand. It returns false when the tenant fails.
+//
 //mehpt:hotpath
 func privateAccess(p *process, sh *shard) bool {
-	va, ok := p.trace.Next()
-	if !ok {
-		// The trace is sized to the access budget; exhaustion here means
-		// the budget accounting drifted, which would silently shorten runs.
-		panic("tenant: trace exhausted before access budget")
+	var va addr.VirtAddr
+	if p.replay != nil {
+		if p.replayPos >= uint64(len(p.replay)) {
+			panic("tenant: trace exhausted before access budget")
+		}
+		va = p.replay[p.replayPos]
+		p.replayPos++
+	} else {
+		var ok bool
+		va, ok = p.trace.Next()
+		if !ok {
+			// The trace is sized to the access budget; exhaustion here means
+			// the budget accounting drifted, which would silently shorten runs.
+			panic("tenant: trace exhausted before access budget")
+		}
 	}
 	m := sh.mmu()
 	r := m.Translate(va)
@@ -483,12 +543,13 @@ func privateAccess(p *process, sh *shard) bool {
 // sharedAccess touches one page of the shared segment: a TLB probe on the
 // shard, a concurrent-table lookup for the frame, and on a TLB miss the
 // hashed-walk cost of one shared page-table probe.
+//
 //mehpt:hotpath
 func sharedAccess(p *process, sh *shard, shared *sharedRegion) {
 	page := uint64(p.rng.Int63()) % shared.pages
 	va := SharedBaseVA + addr.VirtAddr(page*4*addr.KB)
 	tlbs := sh.tlbs()
-	res, lat := tlbs.Lookup(va, addr.Page4K)
+	res, _, lat := tlbs.Lookup(va, addr.Page4K)
 	p.res.XlatCycles += lat
 	ppnVal, ok := shared.table.Lookup(shared.vpn(page))
 	if !ok {
@@ -500,7 +561,10 @@ func sharedAccess(p *process, sh *shard, shared *sharedRegion) {
 		walk := uint64(hashfn.Latency)
 		walk += p.cache.AccessPT(sharedPTBase + addr.PhysAddr(shared.vpn(page)*8))
 		p.res.XlatCycles += walk
-		tlbs.Insert(va, addr.Page4K)
+		// The cached payload stays coherent because every remap of a
+		// shared page shoots this entry down before publishing the new
+		// frame; CheckShardTLBs proves it.
+		tlbs.Insert(va, addr.Page4K, ppnVal)
 	}
 	pa := addr.Translate(va, addr.PPN(ppnVal), addr.Page4K)
 	p.res.DataCycles += p.cache.Access(pa) / sim.DataMLP
@@ -596,4 +660,3 @@ func collect(cfg Config, procs []*process, shards []*shard,
 	r.Fingerprint = r.fingerprint()
 	return r
 }
-

@@ -10,11 +10,11 @@ import (
 // hit (and the MRU bookkeeping it performs) must never allocate.
 func TestLookupHitAllocFree(t *testing.T) {
 	tb := New(Config{Entries: 64, Ways: 4, Latency: 2})
-	tb.Insert(42)
-	tb.Insert(43)
+	tb.Insert(42, 1)
+	tb.Insert(43, 2)
 	if n := testing.AllocsPerRun(1000, func() {
 		// Alternate so the MRU copy-shift actually moves entries.
-		if !tb.Lookup(42) || !tb.Lookup(43) {
+		if !hit(tb, 42) || !hit(tb, 43) {
 			t.Fatal("warm lookup missed")
 		}
 	}); n != 0 {
@@ -30,10 +30,10 @@ func TestMissInsertFlushAllocFree(t *testing.T) {
 	var vpn addr.VPN
 	if n := testing.AllocsPerRun(1000, func() {
 		vpn++
-		if tb.Lookup(vpn) {
+		if hit(tb, vpn) {
 			t.Fatal("cold lookup hit")
 		}
-		tb.Insert(vpn)
+		tb.Insert(vpn, uint64(vpn))
 	}); n != 0 {
 		t.Errorf("TLB miss+insert allocates %v objects per call", n)
 	}
@@ -49,12 +49,60 @@ func TestMissInsertFlushAllocFree(t *testing.T) {
 func TestHierarchyLookupAllocFree(t *testing.T) {
 	h := NewTableIII()
 	va := addr.VirtAddr(0x1234000)
-	h.Insert(va, addr.Page4K)
+	h.Insert(va, addr.Page4K, 9)
 	if n := testing.AllocsPerRun(1000, func() {
-		if r, _ := h.Lookup(va, addr.Page4K); r == MissAll {
+		if r, _, _ := h.Lookup(va, addr.Page4K); r == MissAll {
 			t.Fatal("warm hierarchy lookup missed")
 		}
 	}); n != 0 {
 		t.Errorf("hierarchy lookup allocates %v objects per call", n)
+	}
+}
+
+// TestLookupBatchAllocFree guards the batched pipeline entry point: the
+// two-pass probe, its scratch, and the slow-lane continuation must all stay
+// on the stack.
+func TestLookupBatchAllocFree(t *testing.T) {
+	h := NewTableIII()
+	var vas [BatchWidth]addr.VirtAddr
+	for i := range vas {
+		vas[i] = addr.VirtAddr(0x1000000 + i*4096)
+		h.Insert(vas[i], addr.Page4K, uint64(i))
+	}
+	// One resident at 2M so the slow lane (4K miss → larger sizes) runs too.
+	vas[BatchWidth-1] = addr.VirtAddr(0x80000000)
+	h.Insert(vas[BatchWidth-1], addr.Page2M, 7)
+	var levels [BatchWidth]Result
+	var sizes [BatchWidth]addr.PageSize
+	var pays, lats [BatchWidth]uint64
+	if n := testing.AllocsPerRun(1000, func() {
+		got, _ := h.LookupBatch(vas[:], levels[:], sizes[:], pays[:], lats[:])
+		if got != BatchWidth {
+			t.Fatalf("warm batch resolved %d/%d", got, BatchWidth)
+		}
+	}); n != 0 {
+		t.Errorf("LookupBatch allocates %v objects per call", n)
+	}
+}
+
+// TestLookupBatchPAsAllocFree guards the fused entry point the simulator's
+// trace loop drives, including its slow-lane (2M) continuation.
+func TestLookupBatchPAsAllocFree(t *testing.T) {
+	h := NewTableIII()
+	var vas [BatchWidth]addr.VirtAddr
+	for i := range vas {
+		vas[i] = addr.VirtAddr(0x1000000 + i*4096)
+		h.Insert(vas[i], addr.Page4K, uint64(i))
+	}
+	vas[BatchWidth-1] = addr.VirtAddr(0x80000000)
+	h.Insert(vas[BatchWidth-1], addr.Page2M, 7)
+	var pas [BatchWidth]addr.PhysAddr
+	if n := testing.AllocsPerRun(1000, func() {
+		got, _, _, _ := h.LookupBatchPAs(vas[:], pas[:])
+		if got != BatchWidth {
+			t.Fatalf("warm batch resolved %d/%d", got, BatchWidth)
+		}
+	}); n != 0 {
+		t.Errorf("LookupBatchPAs allocates %v objects per call", n)
 	}
 }

@@ -2,27 +2,30 @@ package tlb
 
 import "repro/internal/addr"
 
-// VisitEntries calls f for every VPN currently resident in the TLB. Tags
-// store VPN+1 with 0 marking empty, and empties are a suffix of each set.
-func (t *TLB) VisitEntries(f func(vpn addr.VPN)) {
+// VisitEntries calls f for every VPN currently resident in the TLB along
+// with its cached payload. Tags store VPN+1 with 0 marking empty, and
+// empties are a suffix of each set.
+func (t *TLB) VisitEntries(f func(vpn addr.VPN, pay uint64)) {
 	for s := uint64(0); s < t.sets; s++ {
 		base := s * uint64(t.ways)
-		for _, tag := range t.tags[base : base+uint64(t.ways)] {
+		for i, tag := range t.tags[base : base+uint64(t.ways)] {
 			if tag == 0 {
 				break
 			}
-			f(addr.VPN(tag - 1))
+			f(addr.VPN(tag-1), t.pays[base+uint64(i)])
 		}
 	}
 }
 
 // VisitEntries calls f for every resident translation in the hierarchy,
-// tagged with its page size and level (1 or 2). The scrubber uses it to
-// prove every cached translation still resolves in the bound page table.
-func (h *Hierarchy) VisitEntries(f func(vpn addr.VPN, s addr.PageSize, level int)) {
+// tagged with its page size, level (1 or 2), and cached payload. The
+// scrubber uses it to prove every cached translation still resolves in the
+// bound page table — including that the cached PPN matches what the table
+// resolves today.
+func (h *Hierarchy) VisitEntries(f func(vpn addr.VPN, s addr.PageSize, level int, pay uint64)) {
 	for s := range h.l1 {
 		size := addr.PageSize(s)
-		h.l1[s].VisitEntries(func(vpn addr.VPN) { f(vpn, size, 1) })
-		h.l2[s].VisitEntries(func(vpn addr.VPN) { f(vpn, size, 2) })
+		h.l1[s].VisitEntries(func(vpn addr.VPN, pay uint64) { f(vpn, size, 1, pay) })
+		h.l2[s].VisitEntries(func(vpn addr.VPN, pay uint64) { f(vpn, size, 2, pay) })
 	}
 }

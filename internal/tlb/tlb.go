@@ -28,12 +28,20 @@ type Stats struct {
 // zero. The flat layout keeps the steady-state lookup path free of heap
 // allocation and pointer chasing; the per-set []uint64 slices it replaces
 // were the TLB's entire GC footprint.
+//
+// Each slot also carries a 64-bit payload (the PPN of the cached
+// translation), moved in lockstep with its tag. A real TLB stores the frame
+// number next to the tag; modelling that lets a hit return the completed
+// translation without re-probing the page table. Payloads are timing- and
+// stats-invisible: only the tag array decides hit/miss, LRU, and eviction.
 type TLB struct {
-	cfg   Config
-	sets  uint64
-	ways  int
-	tags  []uint64 // sets × ways, set-major; 0 = empty
-	stats Stats
+	cfg     Config
+	sets    uint64
+	setMask uint64 // sets-1 when sets is a power of two, else 0
+	ways    int
+	tags    []uint64 // sets × ways, set-major; 0 = empty
+	pays    []uint64 // payload per slot, parallel to tags
+	stats   Stats
 }
 
 // New creates a TLB. A Ways value of 0 or ≥ Entries makes it fully
@@ -46,40 +54,69 @@ func New(cfg Config) *TLB {
 	if sets == 0 {
 		sets = 1
 	}
-	return &TLB{cfg: cfg, sets: sets, ways: cfg.Ways,
-		tags: make([]uint64, sets*uint64(cfg.Ways))}
+	t := &TLB{cfg: cfg, sets: sets, ways: cfg.Ways,
+		tags: make([]uint64, sets*uint64(cfg.Ways)),
+		pays: make([]uint64, sets*uint64(cfg.Ways))}
+	if sets&(sets-1) == 0 {
+		t.setMask = sets - 1
+	}
+	return t
 }
 
-// set returns the tag slots of vpn's set.
-func (t *TLB) set(vpn addr.VPN) []uint64 {
-	base := (uint64(vpn) % t.sets) * uint64(t.ways)
-	return t.tags[base : base+uint64(t.ways)]
+// setBase returns the flat-array offset of vpn's set. All Table III L1
+// geometries have power-of-two set counts, so the common case is a mask;
+// the L2 4K/2M structures (1024/12 = 85 sets) take the modulo path.
+func (t *TLB) setBase(vpn addr.VPN) uint64 {
+	if t.setMask != 0 || t.sets == 1 {
+		return (uint64(vpn) & t.setMask) * uint64(t.ways)
+	}
+	return (uint64(vpn) % t.sets) * uint64(t.ways)
 }
 
-// Lookup probes for vpn, updating LRU on a hit.
+// promote2 moves slot i of a tag/payload set pair to the MRU front. The
+// explicit backward shift replaces copy(): promotion distances are tiny
+// (usually one slot), where two memmove calls cost more than the moves.
+//
+//go:inline
+func promote2(set, pays []uint64, i int) {
+	tag, pay := set[i], pays[i]
+	for ; i > 0; i-- {
+		set[i] = set[i-1]
+		pays[i] = pays[i-1]
+	}
+	set[0], pays[0] = tag, pay
+}
+
+// Lookup probes for vpn, updating LRU on a hit and returning the slot's
+// payload.
 //mehpt:hotpath
-func (t *TLB) Lookup(vpn addr.VPN) bool {
-	set := t.set(vpn)
+func (t *TLB) Lookup(vpn addr.VPN) (uint64, bool) {
+	base := t.setBase(vpn)
+	set := t.tags[base : base+uint64(t.ways)]
 	want := uint64(vpn) + 1
 	for i, tag := range set {
 		if tag == 0 {
 			break // empties are a suffix: the rest of the set is empty
 		}
 		if tag == want {
-			copy(set[1:i+1], set[:i])
-			set[0] = want
+			pays := t.pays[base : base+uint64(t.ways)]
+			pay := pays[i]
+			promote2(set, pays, i)
 			t.stats.Hits++
-			return true
+			return pay, true
 		}
 	}
 	t.stats.Misses++
-	return false
+	return 0, false
 }
 
-// Insert installs vpn, evicting the set's LRU entry if needed.
+// Insert installs vpn with its payload, evicting the set's LRU entry if
+// needed. Re-inserting a resident vpn refreshes its payload and MRU slot.
 //mehpt:hotpath
-func (t *TLB) Insert(vpn addr.VPN) {
-	set := t.set(vpn)
+func (t *TLB) Insert(vpn addr.VPN, pay uint64) {
+	base := t.setBase(vpn)
+	set := t.tags[base : base+uint64(t.ways)]
+	pays := t.pays[base : base+uint64(t.ways)]
 	want := uint64(vpn) + 1
 	n := len(set)
 	for i, tag := range set {
@@ -88,29 +125,36 @@ func (t *TLB) Insert(vpn addr.VPN) {
 			break
 		}
 		if tag == want {
-			copy(set[1:i+1], set[:i])
-			set[0] = want
+			pays[i] = pay
+			promote2(set, pays, i)
 			return
 		}
 	}
 	if n == len(set) {
 		n-- // set full: shifting right drops the LRU tail
 	}
-	copy(set[1:n+1], set[:n])
-	set[0] = want
+	for ; n > 0; n-- {
+		set[n] = set[n-1]
+		pays[n] = pays[n-1]
+	}
+	set[0], pays[0] = want, pay
 }
 
 // Invalidate removes vpn if present (TLB shootdown on unmap).
 func (t *TLB) Invalidate(vpn addr.VPN) {
-	set := t.set(vpn)
+	base := t.setBase(vpn)
+	set := t.tags[base : base+uint64(t.ways)]
 	want := uint64(vpn) + 1
 	for i, tag := range set {
 		if tag == 0 {
 			return
 		}
 		if tag == want {
+			pays := t.pays[base : base+uint64(t.ways)]
 			copy(set[i:], set[i+1:])
 			set[len(set)-1] = 0
+			copy(pays[i:], pays[i+1:])
+			pays[len(pays)-1] = 0
 			return
 		}
 	}
@@ -121,6 +165,7 @@ func (t *TLB) Invalidate(vpn addr.VPN) {
 // flushes on every context-switch event.
 func (t *TLB) Flush() {
 	clear(t.tags)
+	clear(t.pays)
 }
 
 // Latency returns the hit latency.
@@ -128,6 +173,13 @@ func (t *TLB) Latency() uint64 { return t.cfg.Latency }
 
 // Stats returns hit/miss counters.
 func (t *TLB) Stats() Stats { return t.stats }
+
+// BatchWidth is the pipeline width of the batched translation path: the
+// sim loop hands the MMU up to this many accesses per call, and every
+// batched stage (TLB, table probes, cache) sizes its scratch to it. 64 is
+// wide enough to amortize per-call dispatch to well under a cycle per
+// access while keeping per-stage scratch (a few 64-entry arrays) inside L1.
+const BatchWidth = 64
 
 // Hierarchy is the full per-page-size two-level DTLB stack.
 type Hierarchy struct {
@@ -159,27 +211,211 @@ const (
 	HitL2
 )
 
-// Lookup probes L1 then L2 for va at page size s, returning the outcome and
-// the lookup latency. An L2 hit refills L1.
+// Lookup probes L1 then L2 for va at page size s, returning the outcome,
+// the hit payload, and the lookup latency. An L2 hit refills L1.
 //mehpt:hotpath
-func (h *Hierarchy) Lookup(va addr.VirtAddr, s addr.PageSize) (Result, uint64) {
+func (h *Hierarchy) Lookup(va addr.VirtAddr, s addr.PageSize) (Result, uint64, uint64) {
 	vpn := va.PageNumber(s)
-	if h.l1[s].Lookup(vpn) {
-		return HitL1, h.l1[s].Latency()
+	if pay, ok := h.l1[s].Lookup(vpn); ok {
+		return HitL1, pay, h.l1[s].Latency()
 	}
-	if h.l2[s].Lookup(vpn) {
-		h.l1[s].Insert(vpn)
-		return HitL2, h.l1[s].Latency() + h.l2[s].Latency()
+	if pay, ok := h.l2[s].Lookup(vpn); ok {
+		h.l1[s].Insert(vpn, pay)
+		return HitL2, pay, h.l1[s].Latency() + h.l2[s].Latency()
 	}
-	return MissAll, h.l1[s].Latency() + h.l2[s].Latency()
+	return MissAll, 0, h.l1[s].Latency() + h.l2[s].Latency()
 }
 
-// Insert installs a completed translation into both levels.
+// LookupVA probes the hierarchy for va across all page sizes in ascending
+// order — exactly the MMU's scalar probe loop, fused into one call. On a
+// hit it returns the level, winning page size, payload, and that size's hit
+// latency; on a full miss it returns MissAll with the maximum per-size miss
+// latency (the parallel-probe timing model the scalar path uses).
 //mehpt:hotpath
-func (h *Hierarchy) Insert(va addr.VirtAddr, s addr.PageSize) {
+func (h *Hierarchy) LookupVA(va addr.VirtAddr) (Result, addr.PageSize, uint64, uint64) {
+	vpn := va.PageNumber(addr.Page4K)
+	if pay, ok := h.l1[addr.Page4K].Lookup(vpn); ok {
+		return HitL1, addr.Page4K, pay, h.l1[addr.Page4K].Latency()
+	}
+	return h.lookupVAFrom4KMiss(va)
+}
+
+// lookupVAFrom4KMiss finishes LookupVA after the 4K L1 probe has already
+// missed (and been counted): the 4K L2 probe, then the larger page sizes.
+// Both the scalar path and the batch pipeline's slow lane funnel through
+// this, which is what keeps their results and stats bit-identical.
+//mehpt:hotpath
+func (h *Hierarchy) lookupVAFrom4KMiss(va addr.VirtAddr) (Result, addr.PageSize, uint64, uint64) {
+	vpn := va.PageNumber(addr.Page4K)
+	l14 := h.l1[addr.Page4K]
+	l24 := h.l2[addr.Page4K]
+	if pay, ok := l24.Lookup(vpn); ok {
+		l14.Insert(vpn, pay)
+		return HitL2, addr.Page4K, pay, l14.Latency() + l24.Latency()
+	}
+	miss := l14.Latency() + l24.Latency()
+	for _, s := range addr.Sizes()[1:] {
+		r, pay, lat := h.Lookup(va, s)
+		if r != MissAll {
+			return r, s, pay, lat
+		}
+		if miss < lat {
+			miss = lat
+		}
+	}
+	return MissAll, 0, 0, miss
+}
+
+// LookupBatch resolves the longest all-hit prefix of vas, software-
+// pipelined: set indices for the common-case probe (L1, 4K pages) are
+// computed for the whole batch first, then tags are compared in a second
+// pass so the set loads overlap instead of serializing behind each probe.
+// Elements that miss the 4K L1 fall through to the same per-size
+// continuation the scalar LookupVA uses.
+//
+// For each resolved element i < n it fills levels[i], sizes[i], pays[i],
+// and lats[i] with exactly what LookupVA would have returned. It stops at
+// the first element that misses every structure — that element's probes
+// (hits, misses, LRU updates) have already been performed and counted, so
+// the caller must complete it with the page walk directly, NOT by calling
+// LookupVA again. Returns the resolved count n and, when n < len(vas),
+// element n's full-miss latency. At most BatchWidth elements are consumed
+// per call.
+//mehpt:hotpath
+func (h *Hierarchy) LookupBatch(vas []addr.VirtAddr, levels []Result, sizes []addr.PageSize, pays, lats []uint64) (int, uint64) {
+	if len(vas) > BatchWidth {
+		vas = vas[:BatchWidth]
+	}
+	t1 := h.l1[addr.Page4K]
+	ways := uint64(t1.ways)
+	lat1 := t1.cfg.Latency
+	var baseBuf [BatchWidth]uint64
+	var wantBuf [BatchWidth]uint64
+	for i, va := range vas {
+		vpn := va.PageNumber(addr.Page4K)
+		baseBuf[i] = t1.setBase(vpn)
+		wantBuf[i] = uint64(vpn) + 1
+	}
+	// L1 hits accumulate in a register and flush once per call: nothing
+	// observes the counter mid-batch, so the end state is bit-identical.
+	var hits1 uint64
+	for i, va := range vas {
+		base, want := baseBuf[i], wantBuf[i]
+		set := t1.tags[base : base+ways]
+		hit := -1
+		for j, tag := range set {
+			if tag == 0 {
+				break
+			}
+			if tag == want {
+				hit = j
+				break
+			}
+		}
+		if hit >= 0 {
+			pp := t1.pays[base : base+ways]
+			pay := pp[hit]
+			promote2(set, pp, hit)
+			hits1++
+			levels[i] = HitL1
+			sizes[i] = addr.Page4K
+			pays[i] = pay
+			lats[i] = lat1
+			continue
+		}
+		// Slow lane: count the 4K L1 miss exactly as TLB.Lookup would,
+		// then run the scalar continuation for the remaining structures.
+		t1.stats.Misses++
+		r, s, pay, lat := h.lookupVAFrom4KMiss(va)
+		if r == MissAll {
+			t1.stats.Hits += hits1
+			return i, lat
+		}
+		levels[i] = r
+		sizes[i] = s
+		pays[i] = pay
+		lats[i] = lat
+	}
+	t1.stats.Hits += hits1
+	return len(vas), 0
+}
+
+// LookupBatchPAs is LookupBatch fused with the payload→physical-address
+// completion: pas[i] receives the translated address of each resolved
+// element, and the per-element metadata collapses into aggregates — the
+// L1-hit count and the summed lookup latency — which is all the simulator's
+// batched loop consumes. Probe order, LRU updates, and final counters are
+// identical to LookupBatch; only the output shape differs. Returns the
+// resolved count n, the L1-hit count among them, the summed latency, and
+// (when n < len(vas)) element n's full-miss latency.
+//mehpt:hotpath
+func (h *Hierarchy) LookupBatchPAs(vas []addr.VirtAddr, pas []addr.PhysAddr) (int, uint64, uint64, uint64) {
+	if len(vas) > BatchWidth {
+		vas = vas[:BatchWidth]
+	}
+	t1 := h.l1[addr.Page4K]
+	ways := uint64(t1.ways)
+	lat1 := t1.cfg.Latency
+	// Hoisting the tag/payload arrays into locals keeps their headers in
+	// registers: the compiler cannot prove the pas stores don't alias them.
+	tags, pays := t1.tags, t1.pays
+	var baseBuf [BatchWidth]uint64
+	var wantBuf [BatchWidth]uint64
+	for i, va := range vas {
+		vpn := va.PageNumber(addr.Page4K)
+		baseBuf[i] = t1.setBase(vpn)
+		wantBuf[i] = uint64(vpn) + 1
+	}
+	// hits1 counts fast-lane 4K L1 hits (flushed to t1's counter once);
+	// l1Slow counts slow-lane hits that still landed in an L1 structure
+	// (larger page sizes) — the returned L1 total needs both.
+	var hits1, l1Slow, latSum uint64
+	for i, va := range vas {
+		base, want := baseBuf[i], wantBuf[i]
+		set := tags[base : base+ways]
+		hit := -1
+		for j, tag := range set {
+			if tag == 0 {
+				break
+			}
+			if tag == want {
+				hit = j
+				break
+			}
+		}
+		if hit >= 0 {
+			pp := pays[base : base+ways]
+			pay := pp[hit]
+			promote2(set, pp, hit)
+			hits1++
+			pas[i] = addr.Translate(va, addr.PPN(pay), addr.Page4K)
+			continue
+		}
+		// Slow lane: count the 4K L1 miss exactly as TLB.Lookup would,
+		// then run the scalar continuation for the remaining structures.
+		t1.stats.Misses++
+		r, s, pay, lat := h.lookupVAFrom4KMiss(va)
+		if r == MissAll {
+			t1.stats.Hits += hits1
+			return i, hits1 + l1Slow, latSum + hits1*lat1, lat
+		}
+		if r == HitL1 {
+			l1Slow++
+		}
+		latSum += lat
+		pas[i] = addr.Translate(va, addr.PPN(pay), s)
+	}
+	t1.stats.Hits += hits1
+	return len(vas), hits1 + l1Slow, latSum + hits1*lat1, 0
+}
+
+// Insert installs a completed translation (payload pay, the PPN) into both
+// levels.
+//mehpt:hotpath
+func (h *Hierarchy) Insert(va addr.VirtAddr, s addr.PageSize, pay uint64) {
 	vpn := va.PageNumber(s)
-	h.l1[s].Insert(vpn)
-	h.l2[s].Insert(vpn)
+	h.l1[s].Insert(vpn, pay)
+	h.l2[s].Insert(vpn, pay)
 }
 
 // Invalidate removes a translation from both levels (unmap shootdown).

@@ -68,6 +68,7 @@ func (w *Writer) Flush() error { return w.w.Flush() }
 type Reader struct {
 	r    *bufio.Reader
 	prev uint64
+	err  error // stashed by NextBatch when a partial batch precedes an error
 }
 
 // NewReader validates the header and returns a Reader.

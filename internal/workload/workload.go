@@ -287,3 +287,19 @@ func (t *Trace) Next() (addr.VirtAddr, bool) {
 	}
 	return s.PageVA(t.curPage) + addr.VirtAddr(t.curOff), true
 }
+
+// NextBatch fills out with the next accesses of the trace and returns how
+// many it produced — short only when the trace ends. It draws the exact
+// RNG sequence len-sequential-Next-calls would, so a batched consumer sees
+// a bit-identical access stream.
+//mehpt:hotpath
+func (t *Trace) NextBatch(out []addr.VirtAddr) int {
+	for i := range out {
+		va, ok := t.Next()
+		if !ok {
+			return i
+		}
+		out[i] = va
+	}
+	return len(out)
+}

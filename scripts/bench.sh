@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # bench.sh — run the tier-2 benchmark suite with -benchmem, emit BENCH_<n>.json,
-# and gate against the committed baseline (BENCH_0.json).
+# and gate against the committed baseline (BENCH_1.json, recorded with the
+# batched translation pipeline; BENCH_0.json is the pre-batching scalar
+# baseline kept for the ISSUE 10 ≥2× throughput comparison).
 #
 # Environment knobs:
 #   BENCH      benchmark regexp passed to -bench        (default: .)
 #   BENCHTIME  passed to -benchtime                     (default: 1x)
 #   COUNT      passed to -count                         (default: 1)
 #   OUT        output JSON path (default: next free BENCH_<n>.json)
-#   BASELINE   baseline to compare against              (default: BENCH_0.json)
+#   BASELINE   baseline to compare against              (default: BENCH_1.json)
 #   TOLERANCE  allowed ns/op regression fraction        (default: 0.15)
 #   SKIP_TIME  set to 1 to gate only allocs/op and B/op (cross-machine runs)
 #
@@ -19,7 +21,7 @@ cd "$(dirname "$0")/.."
 BENCH="${BENCH:-.}"
 BENCHTIME="${BENCHTIME:-1x}"
 COUNT="${COUNT:-1}"
-BASELINE="${BASELINE:-BENCH_0.json}"
+BASELINE="${BASELINE:-BENCH_1.json}"
 TOLERANCE="${TOLERANCE:-0.15}"
 
 if [ -z "${OUT:-}" ]; then
